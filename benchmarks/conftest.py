@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one (or one pair) of the paper's tables/figures
+and writes the reproduced rows to ``benchmarks/results/<name>.txt`` so they
+can be pasted into EXPERIMENTS.md.  The numbers reported by pytest-benchmark
+itself are the wall-clock cost of regenerating the experiment, not the
+simulated query times — those are inside the result tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write a reproduced table to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, content: str) -> pathlib.Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(content + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Exploiting order in the sources with complementary join pairs (Section 5).
+
+Run with::
+
+    python examples/ordered_sources.py
+
+Two bulk-loaded relations (LINEITEM and ORDERS, both clustered on the order
+key) are joined three ways — with a pipelined hash join, with a complementary
+join pair using naive order routing, and with the priority-queue router — on
+pristine data and on copies where 1 % and 10 % of the rows have been
+displaced ("mostly sorted" data, Example 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.complementary import ComplementaryJoinPair, PipelinedHashJoinBaseline
+from repro.experiments.common import format_table
+from repro.workloads import TPCHGenerator, reorder_fraction
+
+
+def main() -> None:
+    print(__doc__)
+    data = TPCHGenerator(scale_factor=0.002, zipf_z=0.0, seed=13).generate()
+    print(
+        f"joining lineitem ({len(data.lineitem)} tuples) with orders "
+        f"({len(data.orders)} tuples) on the order key\n"
+    )
+
+    rows = []
+    for fraction in (0.0, 0.01, 0.1):
+        lineitem = reorder_fraction(data.lineitem, fraction, seed=21)
+        orders = reorder_fraction(data.orders, fraction, seed=22)
+        strategies = {
+            "pipelined hash join": PipelinedHashJoinBaseline(
+                lineitem, orders, "l_orderkey", "o_orderkey"
+            ),
+            "complementary (naive)": ComplementaryJoinPair(
+                lineitem, orders, "l_orderkey", "o_orderkey"
+            ),
+            "complementary (priority queue)": ComplementaryJoinPair(
+                lineitem,
+                orders,
+                "l_orderkey",
+                "o_orderkey",
+                use_priority_queue=True,
+                queue_capacity=1024,
+            ),
+        }
+        for label, runner in strategies.items():
+            report = runner.execute()
+            rows.append(
+                {
+                    "reordered": f"{fraction:.0%}",
+                    "strategy": label,
+                    "seconds": report.simulated_seconds,
+                    "outputs": report.output_count,
+                    "merge": report.outputs_by_component.get("merge", 0),
+                    "hash": report.outputs_by_component.get("hash", 0),
+                    "stitch": report.outputs_by_component.get("stitch", 0),
+                }
+            )
+
+    print(format_table(rows))
+    print(
+        "\nReading the table: on fully sorted inputs everything flows through the\n"
+        "merge join and the complementary pair wins; with 1% disorder the naive\n"
+        "router collapses to the hash side while the priority queue repairs the\n"
+        "disorder and keeps the advantage; by 10% the benefit has mostly gone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools cannot do PEP 660 editable installs.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this file with
+the legacy ``setup.py develop`` path, which works offline with setuptools
+65.x and no ``wheel`` package.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

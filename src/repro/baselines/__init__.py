@@ -1,0 +1,23 @@
+"""Baseline (non-ADP) execution strategies the paper compares against.
+
+* :class:`StaticExecutor` — optimize once with whatever statistics exist,
+  then run the chosen plan to completion (a traditional query processor).
+* :class:`PlanPartitioningExecutor` — the mid-query re-optimization baseline
+  in the style of Kabra & DeWitt: break the plan at a materialization point
+  (after three joins, as the paper configures Tukwila when no statistics
+  suggest a better spot), then re-optimize the remainder with the observed
+  cardinality of the materialized intermediate.
+"""
+
+from repro.baselines.static_executor import StaticExecutionReport, StaticExecutor
+from repro.baselines.plan_partitioning import (
+    PlanPartitioningExecutor,
+    PlanPartitioningReport,
+)
+
+__all__ = [
+    "StaticExecutor",
+    "StaticExecutionReport",
+    "PlanPartitioningExecutor",
+    "PlanPartitioningReport",
+]

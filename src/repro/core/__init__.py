@@ -1,0 +1,52 @@
+"""Adaptive data partitioning (ADP) core.
+
+This package contains the paper's contributions proper:
+
+* :mod:`repro.core.monitor` — runtime execution monitoring feeding the
+  re-optimizer (Section 3.3).
+* :mod:`repro.core.phases` — bookkeeping for the sequence of plan phases.
+* :mod:`repro.core.stitchup` — stitch-up planning and the specialized
+  stitch-up join (Section 3.4).
+* :mod:`repro.core.corrective` — corrective query processing (Section 4).
+* :mod:`repro.core.complementary` — complementary join pairs exploiting
+  (partial) order (Section 5).
+* :mod:`repro.core.preaggregation` — adjustable-window pre-aggregation
+  (Section 6).
+* :mod:`repro.core.router` — tuple-routing policies for the split operator.
+"""
+
+from repro.core.monitor import ExecutionMonitor
+from repro.core.phases import PhaseManager, PhaseRecord
+from repro.core.stitchup import StitchUpExecutor, StitchUpReport
+from repro.core.corrective import CorrectiveExecutionReport, CorrectiveQueryProcessor
+from repro.core.complementary import (
+    ComplementaryJoinPair,
+    ComplementaryJoinReport,
+    PipelinedHashJoinBaseline,
+)
+from repro.core.preaggregation import AdjustableWindowPreAggregate, WindowedPreAggregator
+from repro.core.router import (
+    HashPartitionRouter,
+    OrderConformanceRouter,
+    PriorityQueueReorderer,
+    RoundRobinRouter,
+)
+
+__all__ = [
+    "ExecutionMonitor",
+    "PhaseManager",
+    "PhaseRecord",
+    "StitchUpExecutor",
+    "StitchUpReport",
+    "CorrectiveExecutionReport",
+    "CorrectiveQueryProcessor",
+    "ComplementaryJoinPair",
+    "ComplementaryJoinReport",
+    "PipelinedHashJoinBaseline",
+    "AdjustableWindowPreAggregate",
+    "WindowedPreAggregator",
+    "HashPartitionRouter",
+    "OrderConformanceRouter",
+    "PriorityQueueReorderer",
+    "RoundRobinRouter",
+]

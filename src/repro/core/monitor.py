@@ -1,0 +1,113 @@
+"""Execution monitoring: turning operator counters into optimizer knowledge.
+
+Section 3.3: every operator keeps an output counter, state structures expose
+their cardinalities, and the re-optimizer combines these into subexpression
+selectivities.  The monitor also flags "multiplicative" join predicates —
+joins whose output exceeds both inputs — so future estimates involving them
+are scaled up conservatively (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.pipelined import PipelinedPlan, SourceCursor
+from repro.optimizer.statistics import ObservedStatistics
+from repro.relational.algebra import SPJAQuery
+from repro.relational.expressions import JoinPredicate
+
+
+@dataclass
+class MonitorSnapshot:
+    """One polling observation, kept for reporting / debugging."""
+
+    phase_id: int
+    simulated_seconds: float
+    tuples_read: int
+    node_outputs: dict[frozenset, int] = field(default_factory=dict)
+
+
+class ExecutionMonitor:
+    """Collects runtime statistics from a running pipelined plan."""
+
+    def __init__(self, query: SPJAQuery) -> None:
+        self.query = query
+        self.observed = ObservedStatistics()
+        self.snapshots: list[MonitorSnapshot] = []
+
+    # -- observation -------------------------------------------------------------
+
+    def observe(
+        self,
+        plan: PipelinedPlan,
+        cursors: dict[str, SourceCursor],
+    ) -> ObservedStatistics:
+        """Fold the plan's current counters into the accumulated statistics."""
+        leaf_counts = plan.leaf_counts()
+        for relation, binding in plan.leaves.items():
+            cursor = cursors[relation]
+            self.observed.record_source(
+                relation,
+                tuples_read=cursor.consumed,
+                tuples_passed=binding.tuples_passed,
+                exhausted=cursor.exhausted and cursor.peek_arrival() is None,
+            )
+        for relations, selectivity in plan.observed_selectivities().items():
+            # Only trust selectivities once a meaningful amount of data has
+            # flowed through the subexpression.
+            inputs_seen = min(
+                (leaf_counts.get(rel, 0) for rel in relations), default=0
+            )
+            if inputs_seen >= 10:
+                self.observed.record_selectivity(relations, selectivity)
+        self._flag_multiplicative_joins(plan, leaf_counts)
+        self.snapshots.append(
+            MonitorSnapshot(
+                phase_id=plan.phase_id,
+                simulated_seconds=plan.clock.now,
+                tuples_read=plan.statistics.tuples_read,
+                node_outputs=dict(plan.node_output_counts()),
+            )
+        )
+        return self.observed
+
+    def _flag_multiplicative_joins(
+        self, plan: PipelinedPlan, leaf_counts: dict[str, int]
+    ) -> None:
+        """Flag join predicates whose observed output exceeds both inputs."""
+        for node in plan.nodes:
+            left_size = self._input_size(plan, node.left_relations, leaf_counts)
+            right_size = self._input_size(plan, node.right_relations, leaf_counts)
+            if left_size < 10 or right_size < 10:
+                continue
+            output = node.output_count
+            largest_input = max(left_size, right_size)
+            if output > largest_input:
+                factor = output / largest_input
+                for predicate in self._predicates_of(node.left_relations, node.right_relations):
+                    self.observed.flag_multiplicative(predicate, factor)
+
+    def _input_size(
+        self, plan: PipelinedPlan, relations: frozenset, leaf_counts: dict[str, int]
+    ) -> int:
+        """Number of tuples that entered a join input (leaf count or child output)."""
+        if len(relations) == 1:
+            (relation,) = relations
+            return leaf_counts.get(relation, 0)
+        for node in plan.nodes:
+            if node.relations == relations:
+                return node.output_count
+        return 0
+
+    def _predicates_of(
+        self, left: frozenset, right: frozenset
+    ) -> tuple[JoinPredicate, ...]:
+        return self.query.predicates_between(left, right)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def latest_snapshot(self) -> MonitorSnapshot | None:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def poll_count(self) -> int:
+        return len(self.snapshots)

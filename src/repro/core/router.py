@@ -1,0 +1,160 @@
+"""Tuple-routing policies for the split operator.
+
+Section 3.3: "the third adaptive component ... is a router module that helps
+the split operator decide what subplan is most appropriate for an incoming
+tuple.  The router is given a specification of each operator's constraints
+(e.g., order), and it may perform some additional pre-processing before
+routing (e.g., pre-sorting a window of the data)."
+
+The policies here are usable directly as the ``router`` argument of
+:class:`repro.engine.operators.split.Split`; the complementary-join machinery
+uses :class:`OrderConformanceRouter` and :class:`PriorityQueueReorderer`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.cost import ExecutionMetrics
+from repro.relational.schema import Schema
+
+
+class RouterPolicy:
+    """Base class: map a tuple to the index of the subplan that should process it."""
+
+    def __call__(self, row: tuple) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class RoundRobinRouter(RouterPolicy):
+    """Distributes tuples evenly across ``targets`` subplans.
+
+    Used for the data-partitioning comparison strategy of Example 2.3 (feed a
+    few subsets into each alternative plan, compare, then commit).
+    """
+
+    targets: int
+    chunk_size: int = 1
+    _count: int = 0
+
+    def __call__(self, row: tuple) -> int:
+        index = (self._count // self.chunk_size) % self.targets
+        self._count += 1
+        return index
+
+
+class HashPartitionRouter(RouterPolicy):
+    """Routes by hash of a key attribute — value-disjoint parallel subplans."""
+
+    def __init__(self, schema: Schema, key: str, targets: int) -> None:
+        if targets < 1:
+            raise ValueError("targets must be positive")
+        self._key_pos = schema.position(key)
+        self.targets = targets
+
+    def __call__(self, row: tuple) -> int:
+        return hash(row[self._key_pos]) % self.targets
+
+
+class OrderConformanceRouter(RouterPolicy):
+    """Routes in-order tuples to target 0 (merge plan), others to target 1 (hash plan).
+
+    A tuple conforms when its key is >= the last key already routed to the
+    ordered plan; the comparison cost is charged to the shared metrics so the
+    router overhead shows up in the work accounting.
+    """
+
+    ORDERED = 0
+    UNORDERED = 1
+
+    def __init__(
+        self, schema: Schema, key: str, metrics: ExecutionMetrics | None = None
+    ) -> None:
+        self._key_pos = schema.position(key)
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+        self._last_ordered_key: object = None
+        self.ordered_count = 0
+        self.unordered_count = 0
+
+    def __call__(self, row: tuple) -> int:
+        key = row[self._key_pos]
+        self.metrics.comparisons += 1
+        if self._last_ordered_key is None or key >= self._last_ordered_key:
+            self._last_ordered_key = key
+            self.ordered_count += 1
+            return self.ORDERED
+        self.unordered_count += 1
+        return self.UNORDERED
+
+    @property
+    def ordered_fraction(self) -> float:
+        total = self.ordered_count + self.unordered_count
+        return self.ordered_count / total if total else 1.0
+
+
+class PriorityQueueReorderer:
+    """Buffers up to ``capacity`` tuples in a min-heap to repair local disorder.
+
+    The complementary-join experiment (Section 5) shows that holding a small
+    priority queue (1024 tuples in the paper) in front of the order router
+    dramatically increases the share of data the merge join can handle when
+    the input is only mostly sorted.  ``push`` returns the tuples released by
+    the queue (zero or one while filling, one once full); ``drain`` releases
+    the rest at end of stream, in key order.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        key: str,
+        capacity: int = 1024,
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._key_pos = schema.position(key)
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+        self._heap: list[tuple] = []
+        self._sequence = 0
+        self.buffered_high_water = 0
+
+    def push(self, row: tuple) -> list[tuple]:
+        """Add a tuple; return the tuples released (possibly empty)."""
+        key = row[self._key_pos]
+        # The sequence number breaks ties so heapq never compares payload rows.
+        heapq.heappush(self._heap, (key, self._sequence, row))
+        self._sequence += 1
+        self.metrics.comparisons += 1
+        self.buffered_high_water = max(self.buffered_high_water, len(self._heap))
+        if len(self._heap) > self.capacity:
+            self.metrics.comparisons += 1
+            return [heapq.heappop(self._heap)[2]]
+        return []
+
+    def drain(self) -> list[tuple]:
+        """Release all remaining buffered tuples in key order."""
+        released = []
+        while self._heap:
+            self.metrics.comparisons += 1
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+@dataclass
+class CallbackRouter(RouterPolicy):
+    """Adapts an arbitrary callable into a router policy (testing convenience)."""
+
+    fn: Callable[[tuple], int]
+    routed: list[int] = field(default_factory=list)
+
+    def __call__(self, row: tuple) -> int:
+        index = self.fn(row)
+        self.routed.append(index)
+        return index

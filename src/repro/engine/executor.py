@@ -1,0 +1,256 @@
+"""Pull-based plan executor.
+
+Builds a tree of iterator operators from a :class:`PhysicalPlan` and runs it
+to completion.  This executor is used for:
+
+* the static baseline runs of the pre-aggregation experiment (Figure 6),
+* materializing intermediate results for the plan-partitioning baseline,
+* unit/integration testing of individual operators against a reference.
+
+The suspendable, phase-switching execution path used by corrective query
+processing lives in :mod:`repro.engine.pipelined` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
+from repro.engine.operators.aggregate import HashAggregate, TraditionalPreAggregate
+from repro.engine.operators.base import Operator, OperatorError
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.pipelined_hash import SymmetricHashJoin
+from repro.engine.operators.hash_join import HybridHashJoin
+from repro.engine.operators.project import ProjectOp
+from repro.engine.operators.scan import Scan
+from repro.optimizer.plans import JoinTree, PhysicalPlan, PreAggPoint
+from repro.relational.algebra import SPJAQuery
+from repro.relational.expressions import (
+    Comparison,
+    AttributeRef,
+    Predicate,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@dataclass
+class ExecutionResult:
+    """Output of running a plan: rows, schema and accounting information."""
+
+    rows: list[tuple]
+    schema: Schema
+    metrics: ExecutionMetrics
+    simulated_seconds: float
+    wall_seconds: float
+    details: dict = field(default_factory=dict)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def work(self, cost_model: CostModel | None = None) -> float:
+        return self.metrics.work(cost_model)
+
+    def to_relation(self, name: str = "result") -> Relation:
+        return Relation(name, self.schema, list(self.rows))
+
+
+def materialize(operator: Operator, name: str = "materialized") -> Relation:
+    """Drain an operator into a named relation."""
+    return Relation(name, operator.schema, operator.run_to_completion())
+
+
+class PullExecutor:
+    """Builds and runs pull-based operator trees for SPJA physical plans."""
+
+    def __init__(
+        self,
+        sources: dict[str, object],
+        cost_model: CostModel | None = None,
+    ) -> None:
+        """``sources`` maps relation name to a Relation or a streaming source
+        (anything :class:`~repro.engine.operators.scan.Scan` accepts)."""
+        self.sources = dict(sources)
+        self.cost_model = cost_model or CostModel()
+
+    # -- plan building ---------------------------------------------------------
+
+    def build(
+        self,
+        plan: PhysicalPlan,
+        metrics: ExecutionMetrics | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> Operator:
+        """Build the operator tree for ``plan`` (without running it)."""
+        metrics = metrics if metrics is not None else ExecutionMetrics()
+        clock = clock if clock is not None else SimulatedClock(self.cost_model)
+        root = self._build_subtree(plan, plan.join_tree, metrics, clock)
+        query = plan.query
+        if query.aggregation is not None:
+            input_is_partial = self._has_partial_input(plan)
+            group_attrs, aggregates = self._final_aggregation_spec(plan, root.schema)
+            root = HashAggregate(
+                root,
+                group_attrs,
+                aggregates,
+                input_is_partial=input_is_partial,
+                metrics=metrics,
+            )
+        elif query.projection:
+            root = ProjectOp(root, query.projection, metrics)
+        return root
+
+    def _has_partial_input(self, plan: PhysicalPlan) -> bool:
+        """True when some pre-aggregation point produces partial aggregates."""
+        return any(p.mode in ("window", "traditional", "pseudogroup") for p in plan.preagg_points)
+
+    def _final_aggregation_spec(self, plan: PhysicalPlan, input_schema: Schema):
+        """Grouping attributes and aggregates for the final GROUP BY.
+
+        When pre-aggregation was applied upstream, the aggregate *aliases*
+        (rather than the raw attributes) are present in the input schema and
+        the final aggregation coalesces partial values.
+        """
+        agg_spec = plan.query.aggregation
+        return agg_spec.group_attributes, agg_spec.aggregates
+
+    def _build_subtree(
+        self,
+        plan: PhysicalPlan,
+        tree: JoinTree,
+        metrics: ExecutionMetrics,
+        clock: SimulatedClock,
+    ) -> Operator:
+        query = plan.query
+        if tree.is_leaf:
+            operator = self._build_leaf(query, tree.relation, metrics, clock)
+        else:
+            left = self._build_subtree(plan, tree.left, metrics, clock)
+            right = self._build_subtree(plan, tree.right, metrics, clock)
+            operator = self._build_join(plan, tree, left, right, metrics, clock)
+        point = plan.preagg_for(tree.relations())
+        if point is not None:
+            operator = self._apply_preaggregation(plan, point, operator, metrics)
+        return operator
+
+    def _build_leaf(
+        self,
+        query: SPJAQuery,
+        relation: str,
+        metrics: ExecutionMetrics,
+        clock: SimulatedClock,
+    ) -> Operator:
+        try:
+            source = self.sources[relation]
+        except KeyError:
+            raise OperatorError(f"no source registered for relation {relation!r}") from None
+        operator: Operator = Scan(source, metrics, clock)
+        predicate = query.selection_for(relation)
+        if not isinstance(predicate, TruePredicate):
+            operator = Filter(operator, predicate, metrics)
+        return operator
+
+    def _build_join(
+        self,
+        plan: PhysicalPlan,
+        tree: JoinTree,
+        left: Operator,
+        right: Operator,
+        metrics: ExecutionMetrics,
+        clock: SimulatedClock,
+    ) -> Operator:
+        query = plan.query
+        left_relations = tree.left.relations()
+        right_relations = tree.right.relations()
+        predicates = query.predicates_between(left_relations, right_relations)
+        if not predicates:
+            raise OperatorError(
+                f"no join predicate connects {sorted(left_relations)} and "
+                f"{sorted(right_relations)}; cross products are not supported"
+            )
+        primary, residual = self._split_predicates(predicates, left.schema, right.schema)
+        left_key, right_key = primary
+        if plan.join_algorithm == "hybrid_hash":
+            return HybridHashJoin(
+                left, right, left_key, right_key, residual, metrics
+            )
+        return SymmetricHashJoin(
+            left, right, left_key, right_key, residual, metrics, clock
+        )
+
+    def _split_predicates(
+        self,
+        predicates,
+        left_schema: Schema,
+        right_schema: Schema,
+    ) -> tuple[tuple[str, str], Predicate | None]:
+        """Pick the hash/merge key pair; lower remaining predicates to residuals."""
+        oriented: list[tuple[str, str]] = []
+        for pred in predicates:
+            if pred.left_attr in left_schema and pred.right_attr in right_schema:
+                oriented.append((pred.left_attr, pred.right_attr))
+            elif pred.right_attr in left_schema and pred.left_attr in right_schema:
+                oriented.append((pred.right_attr, pred.left_attr))
+            else:
+                raise OperatorError(
+                    f"join predicate {pred} does not match child schemas "
+                    f"{left_schema.names} / {right_schema.names}"
+                )
+        left_key, right_key = oriented[0]
+        residuals = [
+            Comparison(AttributeRef(lk), "=", AttributeRef(rk))
+            for lk, rk in oriented[1:]
+        ]
+        residual = conjunction(residuals) if residuals else None
+        if isinstance(residual, TruePredicate):
+            residual = None
+        return (left_key, right_key), residual
+
+    def _apply_preaggregation(
+        self,
+        plan: PhysicalPlan,
+        point: PreAggPoint,
+        child: Operator,
+        metrics: ExecutionMetrics,
+    ) -> Operator:
+        from repro.core.preaggregation import AdjustableWindowPreAggregate
+        from repro.engine.operators.aggregate import Pseudogroup
+
+        aggregates = plan.query.aggregation.aggregates if plan.query.aggregation else ()
+        group_attrs = point.group_attributes or tuple(
+            name for name in child.schema.names
+        )
+        if point.mode == "traditional":
+            return TraditionalPreAggregate(child, group_attrs, aggregates, metrics)
+        if point.mode == "pseudogroup":
+            return Pseudogroup(child, group_attrs, aggregates, metrics)
+        return AdjustableWindowPreAggregate(child, group_attrs, aggregates, metrics=metrics)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        metrics: ExecutionMetrics | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> ExecutionResult:
+        """Build and run ``plan``, returning rows plus accounting information."""
+        metrics = metrics if metrics is not None else ExecutionMetrics()
+        clock = clock if clock is not None else SimulatedClock(self.cost_model)
+        root = self.build(plan, metrics, clock)
+        start = time.perf_counter()
+        rows = root.run_to_completion()
+        wall = time.perf_counter() - start
+        clock.charge_metrics(metrics)
+        return ExecutionResult(
+            rows=rows,
+            schema=root.schema,
+            metrics=metrics,
+            simulated_seconds=clock.now,
+            wall_seconds=wall,
+            details={"clock": clock.snapshot()},
+        )

@@ -1,0 +1,46 @@
+"""Pull-based (iterator-model) physical operators.
+
+These operators implement the conventional open/next/close pipeline used for
+static plan execution, the baselines and the stitch-up computation.  The
+adaptive, suspendable execution path lives in
+:mod:`repro.engine.pipelined` (push-based symmetric hash join network) and in
+:mod:`repro.core`.
+"""
+
+from repro.engine.operators.base import Operator, OperatorError
+from repro.engine.operators.scan import Scan
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.project import ProjectOp
+from repro.engine.operators.union import UnionAll
+from repro.engine.operators.nested_loops import NestedLoopsJoin
+from repro.engine.operators.hash_join import HybridHashJoin
+from repro.engine.operators.pipelined_hash import SymmetricHashJoin
+from repro.engine.operators.merge_join import MergeJoin
+from repro.engine.operators.aggregate import (
+    GroupAccumulator,
+    HashAggregate,
+    Pseudogroup,
+    TraditionalPreAggregate,
+)
+from repro.engine.operators.queue import TupleQueue
+from repro.engine.operators.split import Combine, Split
+
+__all__ = [
+    "Operator",
+    "OperatorError",
+    "Scan",
+    "Filter",
+    "ProjectOp",
+    "UnionAll",
+    "NestedLoopsJoin",
+    "HybridHashJoin",
+    "SymmetricHashJoin",
+    "MergeJoin",
+    "GroupAccumulator",
+    "HashAggregate",
+    "Pseudogroup",
+    "TraditionalPreAggregate",
+    "TupleQueue",
+    "Combine",
+    "Split",
+]

@@ -1,0 +1,54 @@
+"""Base class for pull-based operators."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.cost import ExecutionMetrics
+from repro.relational.schema import Schema
+
+
+class OperatorError(RuntimeError):
+    """Raised on operator misuse (unsorted input to a merge join, etc.)."""
+
+
+class Operator:
+    """A pull-based physical operator.
+
+    Subclasses implement :meth:`_produce`, a generator over output tuples.
+    The base class wraps it to maintain the per-operator output counter that
+    Tukwila's monitoring layer relies on ("every query operator maintains a
+    counter indicating how many tuples it has output", Section 3.3) and to
+    charge output work units to the shared :class:`ExecutionMetrics`.
+    """
+
+    def __init__(self, schema: Schema, metrics: ExecutionMetrics | None = None) -> None:
+        self.schema = schema
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+        #: number of tuples this operator has emitted so far
+        self.tuples_produced = 0
+
+    def _produce(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def execute(self) -> Iterator[tuple]:
+        """Yield output tuples, updating counters as they are produced."""
+        for row in self._produce():
+            self.tuples_produced += 1
+            self.metrics.tuples_output += 1
+            yield row
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.execute()
+
+    def run_to_completion(self) -> list[tuple]:
+        """Drain the operator and return all output tuples."""
+        return list(self.execute())
+
+    def describe(self) -> dict[str, object]:
+        """Monitoring snapshot (operator name, schema, output count)."""
+        return {
+            "operator": type(self).__name__,
+            "schema": self.schema.names,
+            "tuples_produced": self.tuples_produced,
+        }

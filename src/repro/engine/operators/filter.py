@@ -1,0 +1,40 @@
+"""Selection (filter) operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.base import Operator
+from repro.relational.expressions import Predicate
+
+
+class Filter(Operator):
+    """Applies a predicate to its child's output."""
+
+    def __init__(
+        self,
+        child: Operator,
+        predicate: Predicate,
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        super().__init__(child.schema, metrics if metrics is not None else child.metrics)
+        self.child = child
+        self.predicate = predicate
+        self._compiled = predicate.compile(child.schema)
+
+    def _produce(self) -> Iterator[tuple]:
+        evaluate = self._compiled
+        metrics = self.metrics
+        for row in self.child.execute():
+            metrics.predicate_evals += 1
+            if evaluate(row):
+                yield row
+
+    @property
+    def observed_selectivity(self) -> float | None:
+        """Fraction of input tuples passed so far (None before any input)."""
+        consumed = self.child.tuples_produced
+        if consumed == 0:
+            return None
+        return self.tuples_produced / consumed

@@ -1,0 +1,64 @@
+"""Hybrid-hash-style join: build the inner, then probe with the outer."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.base import Operator
+from repro.engine.state.hash_table import HashTableState
+from repro.relational.expressions import Predicate
+
+
+class HybridHashJoin(Operator):
+    """Build-then-probe equi-join.
+
+    The inner (right) child is drained into a hash table keyed on
+    ``inner_key``; the outer (left) child then streams through, probing the
+    table.  An optional ``residual`` predicate over the concatenated schema
+    filters matches for multi-predicate joins.
+
+    The build-side hash table is exposed as :attr:`inner_state` so that
+    adaptive plans can register and later reuse it.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        outer_key: str,
+        inner_key: str,
+        residual: Predicate | None = None,
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        schema = outer.schema.concat(inner.schema)
+        super().__init__(schema, metrics if metrics is not None else outer.metrics)
+        self.outer = outer
+        self.inner = inner
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self._outer_key_pos = outer.schema.position(outer_key)
+        self.inner_state = HashTableState(inner.schema, inner_key)
+        self.residual = residual
+        self._residual_fn = residual.compile(schema) if residual is not None else None
+
+    def _produce(self) -> Iterator[tuple]:
+        metrics = self.metrics
+        inner_state = self.inner_state
+        # Build phase.
+        for row in self.inner.execute():
+            inner_state.insert(row)
+            metrics.hash_inserts += 1
+        # Probe phase.
+        outer_key_pos = self._outer_key_pos
+        residual_fn = self._residual_fn
+        for outer_row in self.outer.execute():
+            metrics.hash_probes += 1
+            for inner_row in inner_state.probe(outer_row[outer_key_pos]):
+                combined = outer_row + inner_row
+                if residual_fn is not None:
+                    metrics.predicate_evals += 1
+                    if not residual_fn(combined):
+                        continue
+                metrics.tuple_copies += 1
+                yield combined

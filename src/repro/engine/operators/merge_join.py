@@ -1,0 +1,100 @@
+"""Merge join over inputs sorted on their join keys."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.base import Operator, OperatorError
+from repro.relational.expressions import Predicate
+
+
+class MergeJoin(Operator):
+    """Streaming merge join.
+
+    Both inputs must arrive in non-decreasing order of their join keys; the
+    operator verifies this as it consumes them and raises
+    :class:`OperatorError` on a violation (the complementary-join machinery
+    in :mod:`repro.core.complementary` is responsible for routing only
+    in-order tuples here).  Duplicate keys on both sides are handled by
+    buffering the current key group of the right input.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key: str,
+        right_key: str,
+        residual: Predicate | None = None,
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        schema = left.schema.concat(right.schema)
+        super().__init__(schema, metrics if metrics is not None else left.metrics)
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self._left_key_pos = left.schema.position(left_key)
+        self._right_key_pos = right.schema.position(right_key)
+        self.residual = residual
+        self._residual_fn = residual.compile(schema) if residual is not None else None
+
+    def _checked(self, iterator: Iterator[tuple], key_pos: int, side: str) -> Iterator[tuple]:
+        previous = None
+        for row in iterator:
+            key = row[key_pos]
+            if previous is not None and key < previous:
+                raise OperatorError(
+                    f"{side} input of MergeJoin is not sorted on its join key "
+                    f"({key!r} arrived after {previous!r})"
+                )
+            previous = key
+            yield row
+
+    def _produce(self) -> Iterator[tuple]:
+        metrics = self.metrics
+        residual_fn = self._residual_fn
+        left_iter = self._checked(self.left.execute(), self._left_key_pos, "left")
+        right_iter = self._checked(self.right.execute(), self._right_key_pos, "right")
+
+        left_row = next(left_iter, None)
+        right_row = next(right_iter, None)
+        right_group: list[tuple] = []
+        right_group_key = None
+
+        while left_row is not None and (right_row is not None or right_group):
+            left_key = left_row[self._left_key_pos]
+            # Refill the right group when the left key has moved past it.
+            if right_group_key is None or left_key > right_group_key:
+                right_group = []
+                right_group_key = None
+                # Advance right input to the first key >= left_key.
+                while right_row is not None and right_row[self._right_key_pos] < left_key:
+                    metrics.comparisons += 1
+                    right_row = next(right_iter, None)
+                if right_row is None:
+                    break
+                right_group_key = right_row[self._right_key_pos]
+                while (
+                    right_row is not None
+                    and right_row[self._right_key_pos] == right_group_key
+                ):
+                    right_group.append(right_row)
+                    right_row = next(right_iter, None)
+
+            metrics.comparisons += 1
+            if left_key == right_group_key:
+                for other in right_group:
+                    combined = left_row + other
+                    if residual_fn is not None:
+                        metrics.predicate_evals += 1
+                        if not residual_fn(combined):
+                            continue
+                    metrics.tuple_copies += 1
+                    yield combined
+                left_row = next(left_iter, None)
+            elif left_key < right_group_key:
+                left_row = next(left_iter, None)
+            # left_key > right_group_key is handled at the top of the loop
+            # (the group is discarded and the right input advanced).

@@ -1,0 +1,52 @@
+"""Nested-loops join with inner buffering."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.base import Operator
+from repro.engine.state.list_state import ListState
+from repro.relational.expressions import Predicate
+
+
+class NestedLoopsJoin(Operator):
+    """Nested-loops-style iteration with buffering of the inner input.
+
+    The inner child is drained once into a :class:`ListState` (Tukwila
+    "buffers the results of the inner loop"), then every outer tuple is
+    compared against every buffered inner tuple.  A general ``predicate``
+    over the concatenated schema decides matches, so non-equi joins are
+    supported — this operator is the fallback when no equi-join key exists.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        predicate: Predicate,
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        schema = outer.schema.concat(inner.schema)
+        super().__init__(schema, metrics if metrics is not None else outer.metrics)
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self._compiled = predicate.compile(schema)
+        self.inner_state = ListState(inner.schema)
+
+    def _produce(self) -> Iterator[tuple]:
+        metrics = self.metrics
+        evaluate = self._compiled
+        inner_state = self.inner_state
+        for row in self.inner.execute():
+            inner_state.insert(row)
+            metrics.tuple_copies += 1
+        for outer_row in self.outer.execute():
+            for inner_row in inner_state.scan():
+                metrics.comparisons += 1
+                metrics.predicate_evals += 1
+                combined = outer_row + inner_row
+                if evaluate(combined):
+                    metrics.tuple_copies += 1
+                    yield combined

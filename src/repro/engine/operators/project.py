@@ -1,0 +1,31 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.base import Operator
+
+
+class ProjectOp(Operator):
+    """Restricts output to a subset of attributes, in the given order."""
+
+    def __init__(
+        self,
+        child: Operator,
+        attributes: Sequence[str],
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        schema = child.schema.project(attributes)
+        super().__init__(schema, metrics if metrics is not None else child.metrics)
+        self.child = child
+        self.attributes = tuple(attributes)
+        self._positions = child.schema.positions(attributes)
+
+    def _produce(self) -> Iterator[tuple]:
+        positions = self._positions
+        metrics = self.metrics
+        for row in self.child.execute():
+            metrics.tuple_copies += 1
+            yield tuple(row[p] for p in positions)

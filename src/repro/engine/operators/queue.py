@@ -1,0 +1,73 @@
+"""Tuple queue: the communication channel between concurrent subplans.
+
+Tukwila uses "a queuing operator that supports communication across
+concurrent threads" (Section 3).  This reproduction executes subplans
+cooperatively in one process, so the queue is a bounded FIFO with explicit
+``close()`` semantics; the complementary-join pair and the split/combine
+machinery use it to decouple producers from consumers while still allowing
+backpressure to be modelled (a full queue reports ``is_full`` so callers can
+switch to draining the consumer, mimicking thread scheduling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+
+class QueueClosed(RuntimeError):
+    """Raised when pushing into a queue that has been closed."""
+
+
+class TupleQueue:
+    """Bounded FIFO of tuples with close-on-end-of-stream semantics."""
+
+    def __init__(self, name: str = "queue", capacity: int | None = None) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[tuple] = deque()
+        self._closed = False
+        self.total_enqueued = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    def push(self, row: tuple) -> None:
+        if self._closed:
+            raise QueueClosed(f"queue {self.name!r} is closed")
+        self._items.append(row)
+        self.total_enqueued += 1
+
+    def close(self) -> None:
+        """Signal end of stream; further pushes raise :class:`QueueClosed`."""
+        self._closed = True
+
+    # -- consumer side ---------------------------------------------------------
+
+    def pop(self) -> tuple | None:
+        """Return the next tuple, or ``None`` when the queue is currently empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def drain(self) -> Iterator[tuple]:
+        """Yield and remove every currently buffered tuple."""
+        while self._items:
+            yield self._items.popleft()
+
+    # -- state -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True when the producer closed the queue and no tuples remain."""
+        return self._closed and not self._items

@@ -1,0 +1,47 @@
+"""Sequential scan over a local relation or a (possibly remote) data source."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.cost import ExecutionMetrics, SimulatedClock
+from repro.engine.operators.base import Operator
+from repro.relational.relation import Relation
+
+
+class Scan(Operator):
+    """Sequential-access scan (the only access method sources support).
+
+    Accepts either an in-memory :class:`~repro.relational.relation.Relation`
+    or any *source* object exposing ``schema`` and ``open_stream()`` yielding
+    ``(row, arrival_time)`` pairs (see :mod:`repro.sources`).  When a
+    :class:`~repro.engine.cost.SimulatedClock` is supplied, the scan stalls
+    the clock until each tuple's arrival time, which is how network delay and
+    burstiness reach the engine.
+    """
+
+    def __init__(
+        self,
+        source,
+        metrics: ExecutionMetrics | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> None:
+        super().__init__(source.schema, metrics)
+        self.source = source
+        self.clock = clock
+
+    def _stream(self) -> Iterator[tuple[tuple, float]]:
+        if isinstance(self.source, Relation):
+            for row in self.source.rows:
+                yield row, 0.0
+        else:
+            yield from self.source.open_stream()
+
+    def _produce(self) -> Iterator[tuple]:
+        metrics = self.metrics
+        clock = self.clock
+        for row, arrival_time in self._stream():
+            metrics.tuples_read += 1
+            if clock is not None:
+                clock.wait_until(arrival_time)
+            yield row

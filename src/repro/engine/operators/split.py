@@ -1,0 +1,123 @@
+"""Split and combine: ADP's data-routing operators.
+
+``split`` partitions a stream of tuples across alternative subplans according
+to a router policy; ``combine`` unions the outputs of several subplans back
+into one stream (Section 3).  Both are push-style components: the adaptive
+executors drive them tuple by tuple, which is what allows routing decisions
+to depend on properties observed so far (order conformance, selectivities).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.base import Operator
+from repro.engine.operators.queue import TupleQueue
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleAdapter
+
+
+class Split:
+    """Routes each incoming tuple to one of several output queues.
+
+    The ``router`` callable receives the tuple and returns the index of the
+    target queue.  Routing statistics are kept per target so experiments can
+    report how the data was divided (e.g. merge-side vs hash-side shares in
+    the complementary join).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        targets: Sequence[TupleQueue],
+        router: Callable[[tuple], int],
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        if not targets:
+            raise ValueError("Split requires at least one target queue")
+        self.schema = schema
+        self.targets = list(targets)
+        self.router = router
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+        self.routed_counts = [0] * len(self.targets)
+
+    def push(self, row: tuple) -> int:
+        """Route one tuple; returns the index of the queue it was sent to."""
+        index = self.router(row)
+        if not 0 <= index < len(self.targets):
+            raise IndexError(
+                f"router returned invalid target index {index} "
+                f"(have {len(self.targets)} targets)"
+            )
+        self.targets[index].push(row)
+        self.routed_counts[index] += 1
+        self.metrics.tuple_copies += 1
+        return index
+
+    def push_all(self, rows: Iterator[tuple]) -> None:
+        for row in rows:
+            self.push(row)
+
+    def close(self) -> None:
+        for queue in self.targets:
+            queue.close()
+
+    def distribution(self) -> dict[int, int]:
+        """Mapping of target index to number of tuples routed there."""
+        return {i: count for i, count in enumerate(self.routed_counts)}
+
+
+class Combine(Operator):
+    """Pull-based union over the outputs of several subplan queues.
+
+    Subplans append their results to their queue; ``Combine`` drains the
+    queues in round-robin order, adapting tuple layouts where needed.  It is
+    the pull-side counterpart of :class:`Split`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        queues: Sequence[TupleQueue],
+        source_schemas: Sequence[Schema] | None = None,
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        super().__init__(schema, metrics)
+        self.queues = list(queues)
+        self._adapters: list[TupleAdapter | None] = []
+        if source_schemas is None:
+            self._adapters = [None] * len(self.queues)
+        else:
+            for source_schema in source_schemas:
+                adapter = TupleAdapter(source_schema, schema)
+                self._adapters.append(None if adapter.is_identity else adapter)
+
+    def _produce(self) -> Iterator[tuple]:
+        metrics = self.metrics
+        while True:
+            emitted = False
+            exhausted = 0
+            for queue, adapter in zip(self.queues, self._adapters):
+                row = queue.pop()
+                if row is None:
+                    if queue.is_exhausted:
+                        exhausted += 1
+                    continue
+                emitted = True
+                if adapter is not None:
+                    metrics.tuple_copies += 1
+                    row = adapter.adapt(row)
+                yield row
+            if not emitted and exhausted == len(self.queues):
+                return
+            if not emitted:
+                # Nothing available but producers are still open: in the
+                # cooperative single-threaded model this means the producers
+                # have finished pushing, so treat remaining-open queues as a
+                # caller error only if they never close.
+                if all(queue.is_exhausted or len(queue) == 0 for queue in self.queues):
+                    if all(queue.is_closed for queue in self.queues):
+                        return
+                    # Avoid an infinite loop: yield control by returning.
+                    return

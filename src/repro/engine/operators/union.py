@@ -1,0 +1,51 @@
+"""Bag-union operator (the ``combine`` building block of ADP plans)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.base import Operator, OperatorError
+from repro.relational.tuples import TupleAdapter
+
+
+class UnionAll(Operator):
+    """Concatenates the outputs of several children (bag semantics).
+
+    Children whose schemas list the same attributes in a different order are
+    adapted on the fly with a :class:`TupleAdapter`; this is how results
+    produced by structurally different plans (different join orders, hence
+    different physical attribute orderings) are combined, per Section 3.2.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[Operator],
+        metrics: ExecutionMetrics | None = None,
+    ) -> None:
+        if not children:
+            raise OperatorError("UnionAll requires at least one child")
+        target = children[0].schema
+        super().__init__(
+            target, metrics if metrics is not None else children[0].metrics
+        )
+        self.children = list(children)
+        self._adapters: list[TupleAdapter | None] = []
+        for child in self.children:
+            if set(child.schema.names) != set(target.names):
+                raise OperatorError(
+                    "UnionAll children must share the same attribute set: "
+                    f"{child.schema.names} vs {target.names}"
+                )
+            adapter = TupleAdapter(child.schema, target)
+            self._adapters.append(None if adapter.is_identity else adapter)
+
+    def _produce(self) -> Iterator[tuple]:
+        metrics = self.metrics
+        for child, adapter in zip(self.children, self._adapters):
+            if adapter is None:
+                yield from child.execute()
+            else:
+                for row in child.execute():
+                    metrics.tuple_copies += 1
+                    yield adapter.adapt(row)

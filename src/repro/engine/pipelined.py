@@ -1,0 +1,495 @@
+"""Push-based pipelined hash-join network.
+
+This module implements Tukwila's default execution strategy for data
+integration queries: a tree of symmetric (pipelined) hash joins fed tuple by
+tuple from the data sources.  The crucial property for adaptive data
+partitioning is that execution proceeds in discrete **steps** — one source
+tuple is read and fully propagated through the join network before the next
+step begins — so that between steps the plan is always in a consistent state
+and can be suspended, monitored, or replaced (Section 4.1: "allow the plan to
+reach a consistent state ... and switch to another plan").
+
+The hash tables inside each join node double as the per-phase source
+partitions and intermediate results; they are registered in the
+:class:`~repro.engine.state.registry.StateRegistry` so the stitch-up phase
+can reuse them (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
+from repro.engine.state.hash_table import HashTableState
+from repro.engine.state.registry import StateRegistry, expression_signature
+from repro.optimizer.plans import JoinTree, PlanError
+from repro.relational.algebra import SPJAQuery
+from repro.relational.expressions import (
+    AttributeRef,
+    Comparison,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class SourceCursor:
+    """Sequential read cursor over one source, shared across plan phases.
+
+    The cursor remembers how many tuples have been consumed so that when
+    corrective query processing switches plans, the next phase simply resumes
+    reading where the previous phase stopped.  Sources are accessed strictly
+    sequentially (the data integration access model of Section 3.5).
+    """
+
+    def __init__(self, name: str, source) -> None:
+        self.name = name
+        self.schema: Schema = source.schema
+        self._iterator = self._open(source)
+        self._peeked: tuple[tuple, float] | None = None
+        self.consumed = 0
+        self.exhausted = False
+
+    @staticmethod
+    def _open(source) -> Iterator[tuple[tuple, float]]:
+        if isinstance(source, Relation):
+            return ((row, 0.0) for row in source.rows)
+        return iter(source.open_stream())
+
+    def peek_arrival(self) -> float | None:
+        """Arrival time of the next tuple, or ``None`` when exhausted."""
+        if self.exhausted:
+            return None
+        if self._peeked is None:
+            try:
+                self._peeked = next(self._iterator)
+            except StopIteration:
+                self.exhausted = True
+                return None
+        return self._peeked[1]
+
+    def read(self) -> tuple[tuple, float] | None:
+        """Consume and return ``(row, arrival_time)``, or ``None`` at end."""
+        if self.peek_arrival() is None:
+            return None
+        item = self._peeked
+        self._peeked = None
+        self.consumed += 1
+        return item
+
+
+class PipelinedJoinNode:
+    """One symmetric hash join inside the push network."""
+
+    def __init__(
+        self,
+        left_schema: Schema,
+        right_schema: Schema,
+        left_key: str,
+        right_key: str,
+        residual_fn: Callable[[tuple], bool] | None,
+        metrics: ExecutionMetrics,
+    ) -> None:
+        self.schema = left_schema.concat(right_schema)
+        self.left_schema = left_schema
+        self.right_schema = right_schema
+        self.left_key = left_key
+        self.right_key = right_key
+        self.left_state = HashTableState(left_schema, left_key)
+        self.right_state = HashTableState(right_schema, right_key)
+        self._left_key_pos = left_schema.position(left_key)
+        self._right_key_pos = right_schema.position(right_key)
+        self._residual_fn = residual_fn
+        self.metrics = metrics
+        self.output_count = 0
+        # Wiring (set by PipelinedPlan): where this node's outputs go.
+        self.parent: "PipelinedJoinNode | None" = None
+        self.parent_side: str | None = None
+        self.sink: Callable[[tuple], None] | None = None
+        # Relations covered by each input (for registry signatures / monitor).
+        self.left_relations: frozenset[str] = frozenset()
+        self.right_relations: frozenset[str] = frozenset()
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return self.left_relations | self.right_relations
+
+    def push(self, row: tuple, side: str) -> None:
+        """Insert ``row`` on ``side`` ('left'/'right'), probe the other side,
+        and propagate every resulting join tuple upward."""
+        metrics = self.metrics
+        metrics.hash_inserts += 1
+        metrics.hash_probes += 1
+        if side == "left":
+            self.left_state.insert(row)
+            matches = self.right_state.probe(row[self._left_key_pos])
+            for other in matches:
+                self._emit(row + other)
+        else:
+            self.right_state.insert(row)
+            matches = self.left_state.probe(row[self._right_key_pos])
+            for other in matches:
+                self._emit(other + row)
+
+    def _emit(self, combined: tuple) -> None:
+        metrics = self.metrics
+        if self._residual_fn is not None:
+            metrics.predicate_evals += 1
+            if not self._residual_fn(combined):
+                return
+        metrics.tuple_copies += 1
+        self.output_count += 1
+        if self.parent is not None:
+            self.parent.push(combined, self.parent_side)
+        elif self.sink is not None:
+            metrics.tuples_output += 1
+            self.sink(combined)
+
+
+@dataclass
+class LeafBinding:
+    """Where tuples of one base relation enter the join network."""
+
+    relation: str
+    node: PipelinedJoinNode
+    side: str
+    selection_fn: Callable[[tuple], bool] | None
+    tuples_read: int = 0
+    tuples_passed: int = 0
+
+
+@dataclass
+class PhaseStatistics:
+    """Per-phase execution summary used by reports and the re-optimizer."""
+
+    phase_id: int
+    steps: int = 0
+    tuples_read: int = 0
+    outputs: int = 0
+    work_units: float = 0.0
+    simulated_seconds: float = 0.0
+    consumed_per_relation: dict[str, int] = field(default_factory=dict)
+
+
+class PipelinedPlan:
+    """An instantiated push network for one ADP phase of an SPJA query."""
+
+    def __init__(
+        self,
+        query: SPJAQuery,
+        join_tree: JoinTree,
+        cursors: dict[str, SourceCursor],
+        output_sink: Callable[[tuple], None],
+        phase_id: int = 0,
+        metrics: ExecutionMetrics | None = None,
+        clock: SimulatedClock | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if join_tree.relations() != frozenset(query.relations):
+            raise PlanError(
+                f"join tree {join_tree} does not cover the relations of query {query.name}"
+            )
+        self.query = query
+        self.join_tree = join_tree
+        self.cursors = cursors
+        self.phase_id = phase_id
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+        self.cost_model = cost_model or CostModel()
+        self.clock = clock if clock is not None else SimulatedClock(self.cost_model)
+        self.output_sink = output_sink
+        self.output_count = 0
+        self.leaves: dict[str, LeafBinding] = {}
+        self.nodes: list[PipelinedJoinNode] = []
+        self._charged_work = self.metrics.work(self.cost_model)
+        self._build_network()
+        self.statistics = PhaseStatistics(phase_id=phase_id)
+
+    # -- network construction --------------------------------------------------
+
+    def _output_schema_of(self, tree: JoinTree) -> Schema:
+        if tree.is_leaf:
+            return self.cursors[tree.relation].schema
+        return self._output_schema_of(tree.left).concat(self._output_schema_of(tree.right))
+
+    def _build_network(self) -> None:
+        if self.join_tree.is_leaf:
+            # Single-relation query: tuples go straight to the sink.
+            relation = self.join_tree.relation
+            self.leaves[relation] = LeafBinding(
+                relation=relation,
+                node=None,  # type: ignore[arg-type]
+                side="left",
+                selection_fn=self._compile_selection(relation),
+            )
+            return
+        self._build_node(self.join_tree, parent=None, parent_side=None)
+
+    def _compile_selection(self, relation: str) -> Callable[[tuple], bool] | None:
+        predicate = self.query.selection_for(relation)
+        if isinstance(predicate, TruePredicate):
+            return None
+        return predicate.compile(self.cursors[relation].schema)
+
+    def _build_node(
+        self,
+        tree: JoinTree,
+        parent: PipelinedJoinNode | None,
+        parent_side: str | None,
+    ) -> PipelinedJoinNode:
+        left_schema = self._output_schema_of(tree.left)
+        right_schema = self._output_schema_of(tree.right)
+        left_relations = tree.left.relations()
+        right_relations = tree.right.relations()
+        predicates = self.query.predicates_between(left_relations, right_relations)
+        if not predicates:
+            raise PlanError(
+                f"no join predicate connects {sorted(left_relations)} and "
+                f"{sorted(right_relations)} in query {self.query.name}"
+            )
+        oriented: list[tuple[str, str]] = []
+        for pred in predicates:
+            if pred.left_attr in left_schema and pred.right_attr in right_schema:
+                oriented.append((pred.left_attr, pred.right_attr))
+            else:
+                oriented.append((pred.right_attr, pred.left_attr))
+        left_key, right_key = oriented[0]
+        residual_fn = None
+        if len(oriented) > 1:
+            residual = conjunction(
+                Comparison(AttributeRef(lk), "=", AttributeRef(rk))
+                for lk, rk in oriented[1:]
+            )
+            residual_fn = residual.compile(left_schema.concat(right_schema))
+
+        node = PipelinedJoinNode(
+            left_schema, right_schema, left_key, right_key, residual_fn, self.metrics
+        )
+        node.left_relations = left_relations
+        node.right_relations = right_relations
+        node.parent = parent
+        node.parent_side = parent_side
+        if parent is None:
+            node.sink = self._root_sink
+        self.nodes.append(node)
+
+        for child_tree, side in ((tree.left, "left"), (tree.right, "right")):
+            if child_tree.is_leaf:
+                relation = child_tree.relation
+                self.leaves[relation] = LeafBinding(
+                    relation=relation,
+                    node=node,
+                    side=side,
+                    selection_fn=self._compile_selection(relation),
+                )
+            else:
+                self._build_node(child_tree, parent=node, parent_side=side)
+        return node
+
+    def _root_sink(self, row: tuple) -> None:
+        self.output_count += 1
+        self.output_sink(row)
+
+    @property
+    def output_schema(self) -> Schema:
+        """Schema of tuples delivered to the output sink (pre-aggregation)."""
+        return self._output_schema_of(self.join_tree)
+
+    # -- execution -------------------------------------------------------------
+
+    def _choose_cursor(self) -> SourceCursor | None:
+        """Pick the next source to read: earliest arrival, then least consumed.
+
+        Preferring the earliest-arriving tuple is the data-availability-driven
+        scheduling that masks bursty network delays; breaking ties by
+        consumption count keeps sources draining at similar rates.
+        """
+        best: SourceCursor | None = None
+        best_key: tuple[float, int] | None = None
+        for relation in self.leaves:
+            cursor = self.cursors[relation]
+            arrival = cursor.peek_arrival()
+            if arrival is None:
+                continue
+            key = (arrival, cursor.consumed)
+            if best_key is None or key < best_key:
+                best = cursor
+                best_key = key
+        return best
+
+    def step(self) -> bool:
+        """Read one source tuple and propagate it; return False when done."""
+        cursor = self._choose_cursor()
+        if cursor is None:
+            return False
+        self._sync_clock()
+        item = cursor.read()
+        if item is None:
+            return False
+        row, arrival = item
+        self.clock.wait_until(arrival)
+        self.metrics.tuples_read += 1
+        binding = self.leaves[cursor.name]
+        binding.tuples_read += 1
+        if binding.selection_fn is not None:
+            self.metrics.predicate_evals += 1
+            if not binding.selection_fn(row):
+                self.statistics.steps += 1
+                self.statistics.tuples_read += 1
+                return True
+        binding.tuples_passed += 1
+        if binding.node is None:
+            # Single-relation query.
+            self.metrics.tuples_output += 1
+            self._root_sink(row)
+        else:
+            binding.node.push(row, binding.side)
+        self.statistics.steps += 1
+        self.statistics.tuples_read += 1
+        return True
+
+    def _sync_clock(self) -> None:
+        work = self.metrics.work(self.cost_model)
+        delta = work - self._charged_work
+        if delta > 0:
+            self.clock.charge(delta)
+            self._charged_work = work
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Run until sources are exhausted or ``max_steps`` steps have run."""
+        steps = 0
+        while max_steps is None or steps < max_steps:
+            if not self.step():
+                break
+            steps += 1
+        self._sync_clock()
+        self._finalize_statistics()
+        return steps
+
+    def _finalize_statistics(self) -> None:
+        self.statistics.outputs = self.output_count
+        self.statistics.work_units = self.metrics.work(self.cost_model)
+        self.statistics.simulated_seconds = self.clock.now
+        self.statistics.consumed_per_relation = {
+            name: binding.tuples_passed for name, binding in self.leaves.items()
+        }
+
+    def finish_phase(self) -> PhaseStatistics:
+        """Flush accounting after the controller decides to stop this phase."""
+        self._sync_clock()
+        self._finalize_statistics()
+        return self.statistics
+
+    @property
+    def sources_exhausted(self) -> bool:
+        return all(
+            self.cursors[name].peek_arrival() is None for name in self.leaves
+        )
+
+    # -- monitoring ------------------------------------------------------------
+
+    def leaf_counts(self) -> dict[str, int]:
+        """Tuples (post-selection) each relation contributed in this phase."""
+        return {name: binding.tuples_passed for name, binding in self.leaves.items()}
+
+    def observed_selectivities(self) -> dict[frozenset, float]:
+        """Observed selectivity of every join subexpression in this plan.
+
+        Selectivity of a subexpression is defined as in Section 4.2: output
+        cardinality divided by the product of the cardinalities of all its
+        input relations (the partitions seen in this phase).
+        """
+        counts = self.leaf_counts()
+        result: dict[frozenset, float] = {}
+        for node in self.nodes:
+            relations = node.relations
+            denom = 1.0
+            for rel in relations:
+                denom *= max(counts.get(rel, 0), 1)
+            result[relations] = node.output_count / denom
+        return result
+
+    def node_output_counts(self) -> dict[frozenset, int]:
+        return {node.relations: node.output_count for node in self.nodes}
+
+    # -- state registration for stitch-up --------------------------------------
+
+    def register_state(self, registry: StateRegistry) -> None:
+        """Register base partitions and intermediate results with the registry."""
+        for node in self.nodes:
+            for side, relations, state in (
+                ("left", node.left_relations, node.left_state),
+                ("right", node.right_relations, node.right_state),
+            ):
+                signature = expression_signature(
+                    (rel, self.phase_id) for rel in relations
+                )
+                kind = "partition" if len(relations) == 1 else "intermediate"
+                registry.register(
+                    signature,
+                    state,
+                    plan_id=self.phase_id,
+                    description=f"phase {self.phase_id} {kind} ({side} input of {sorted(node.relations)})",
+                )
+
+
+class PipelinedExecutor:
+    """Convenience wrapper: run a single pipelined plan to completion.
+
+    This is the *static* execution strategy — optimize once, run the chosen
+    join tree with pipelined hash joins until the sources are exhausted.
+    """
+
+    def __init__(self, sources: dict[str, object], cost_model: CostModel | None = None) -> None:
+        self.sources = dict(sources)
+        self.cost_model = cost_model or CostModel()
+
+    def execute(
+        self,
+        query: SPJAQuery,
+        join_tree: JoinTree,
+        clock: SimulatedClock | None = None,
+        metrics: ExecutionMetrics | None = None,
+    ):
+        """Run ``query`` with ``join_tree``; returns ``(rows, plan)``.
+
+        For aggregation queries the rows are the final grouped output; for SPJ
+        queries they are the raw join results.
+        """
+        from repro.engine.operators.aggregate import GroupAccumulator
+
+        metrics = metrics if metrics is not None else ExecutionMetrics()
+        clock = clock if clock is not None else SimulatedClock(self.cost_model)
+        cursors = {
+            name: SourceCursor(name, self.sources[name]) for name in query.relations
+        }
+        collected: list[tuple] = []
+        accumulator: GroupAccumulator | None = None
+
+        if query.aggregation is not None:
+            # The accumulator needs the join output schema, which depends on
+            # the tree; build a throwaway plan first to learn it.
+            probe_plan = PipelinedPlan(
+                query, join_tree, cursors, collected.append, 0, metrics, clock, self.cost_model
+            )
+            accumulator = GroupAccumulator(
+                probe_plan.output_schema,
+                query.aggregation.group_attributes,
+                query.aggregation.aggregates,
+                input_is_partial=False,
+                metrics=metrics,
+            )
+            plan = probe_plan
+            plan.output_sink = accumulator.accumulate
+        else:
+            plan = PipelinedPlan(
+                query, join_tree, cursors, collected.append, 0, metrics, clock, self.cost_model
+            )
+
+        plan.run()
+        if accumulator is not None:
+            rows = accumulator.results()
+        else:
+            rows = collected
+        return rows, plan

@@ -1,0 +1,35 @@
+"""State structures: the data stores behind stateful operators.
+
+Following Section 3.1 of the paper, join and aggregation operators are split
+into an *iterator module* (how tuples are produced/consumed) and a *state
+structure* (where the tuples live).  The state structures advertise their
+properties — key-based access, sortedness requirements — and can be shared
+across operators belonging to different adaptive-data-partitioning plans,
+which is what allows the stitch-up phase to reuse intermediate results
+instead of recomputing them.
+
+Provided structures (mirroring Tukwila's list): unsorted list, sorted list,
+hash table, hash table over sorted data (binary-searchable buckets), and a
+B+ tree.
+"""
+
+from repro.engine.state.base import StateStructure, StateStructureError
+from repro.engine.state.list_state import ListState
+from repro.engine.state.sorted_list import SortedListState
+from repro.engine.state.hash_table import HashTableState
+from repro.engine.state.hash_sorted import SortedHashState
+from repro.engine.state.btree import BPlusTreeState
+from repro.engine.state.registry import StateRegistry, RegistryEntry, expression_signature
+
+__all__ = [
+    "StateStructure",
+    "StateStructureError",
+    "ListState",
+    "SortedListState",
+    "HashTableState",
+    "SortedHashState",
+    "BPlusTreeState",
+    "StateRegistry",
+    "RegistryEntry",
+    "expression_signature",
+]

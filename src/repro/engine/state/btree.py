@@ -1,0 +1,174 @@
+"""B+ tree state structure.
+
+A straightforward in-memory B+ tree supporting duplicate keys, point probes,
+range scans and ordered full scans.  Tukwila lists the B+ tree among its
+state structures (Section 3.1); in this reproduction it backs ordered
+key-range access for the merge-join fallback paths and is exercised directly
+by the property-based test suite (its ordered scan must agree with a sorted
+list under arbitrary insertion orders).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.engine.state.base import StateStructure, StateStructureError
+from repro.relational.schema import Schema
+
+
+class _Node:
+    """Internal or leaf node of the B+ tree."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: list[object] = []
+        # internal nodes: children[i] holds keys < keys[i] (and the last child
+        # holds keys >= keys[-1]); leaves: values[i] is the list of rows for keys[i]
+        self.children: list[_Node] = []
+        self.values: list[list[tuple]] = []
+        self.next_leaf: _Node | None = None
+
+
+class BPlusTreeState(StateStructure):
+    """In-memory B+ tree keyed on one attribute, allowing duplicate keys."""
+
+    supports_key_access = True
+    provides_sorted_scan = True
+
+    def __init__(self, schema: Schema, key: str, order: int = 32) -> None:
+        super().__init__(schema, key=key)
+        if order < 3:
+            raise ValueError("B+ tree order must be at least 3")
+        self._key_pos = schema.position(key)
+        self._order = order
+        self._root = _Node(is_leaf=True)
+        self._count = 0
+        self._height = 1
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, row: tuple) -> None:
+        key_value = row[self._key_pos]
+        split = self._insert_into(self._root, key_value, row)
+        if split is not None:
+            sep_key, new_node = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [self._root, new_node]
+            self._root = new_root
+            self._height += 1
+        self._count += 1
+
+    def _insert_into(self, node: _Node, key_value: object, row: tuple):
+        """Insert recursively; return (separator_key, new_right_node) on split."""
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key_value)
+            if idx < len(node.keys) and node.keys[idx] == key_value:
+                node.values[idx].append(row)
+                return None
+            node.keys.insert(idx, key_value)
+            node.values.insert(idx, [row])
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+
+        idx = bisect.bisect_right(node.keys, key_value)
+        split = self._insert_into(node.children[idx], key_value, row)
+        if split is None:
+            return None
+        sep_key, new_child = split
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, new_child)
+        if len(node.keys) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep_key, right
+
+    # -- lookups ---------------------------------------------------------------
+
+    def _find_leaf(self, key_value: object) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key_value)
+            node = node.children[idx]
+        return node
+
+    def probe(self, key_value: object) -> list[tuple]:
+        leaf = self._find_leaf(key_value)
+        idx = bisect.bisect_left(leaf.keys, key_value)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key_value:
+            return list(leaf.values[idx])
+        return []
+
+    def range_scan(self, low: object, high: object) -> Iterator[tuple]:
+        """Yield tuples with key in ``[low, high]`` (inclusive), in key order."""
+        if low > high:
+            return
+        leaf = self._find_leaf(low)
+        while leaf is not None:
+            for key_value, rows in zip(leaf.keys, leaf.values):
+                if key_value < low:
+                    continue
+                if key_value > high:
+                    return
+                yield from rows
+            leaf = leaf.next_leaf
+
+    def scan(self) -> Iterator[tuple]:
+        """Full scan in key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for rows in leaf.values:
+                yield from rows
+            leaf = leaf.next_leaf
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def min_key(self) -> object:
+        if self._count == 0:
+            raise StateStructureError("empty B+ tree has no minimum key")
+        leaf = self._leftmost_leaf()
+        return leaf.keys[0]
+
+    def max_key(self) -> object:
+        if self._count == 0:
+            raise StateStructureError("empty B+ tree has no maximum key")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Current tree height (root to leaf), for diagnostics and tests."""
+        return self._height

@@ -1,0 +1,77 @@
+"""Hash-over-sorted-data state structure.
+
+Tukwila's "hash over sorted data" keeps each bucket's contents in key order,
+"which allows us to perform a binary search over hash buckets" (Section 3.1).
+Here the key space is hashed into a fixed number of buckets and each bucket
+is maintained in sorted order, so both key-equality probes (binary search
+inside one bucket) and ordered scans (k-way merge of the sorted buckets) are
+efficient.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Iterator
+
+from repro.engine.state.base import StateStructure
+from repro.relational.schema import Schema
+
+
+class SortedHashState(StateStructure):
+    """Fixed-bucket hash table whose buckets stay sorted on the key."""
+
+    supports_key_access = True
+    provides_sorted_scan = True
+
+    def __init__(self, schema: Schema, key: str, bucket_count: int = 64) -> None:
+        super().__init__(schema, key=key)
+        if bucket_count < 1:
+            raise ValueError("bucket_count must be positive")
+        self._key_pos = schema.position(key)
+        self._bucket_count = bucket_count
+        self._bucket_keys: list[list[object]] = [[] for _ in range(bucket_count)]
+        self._bucket_rows: list[list[tuple]] = [[] for _ in range(bucket_count)]
+        self._count = 0
+
+    def _bucket_index(self, key_value: object) -> int:
+        return hash(key_value) % self._bucket_count
+
+    def insert(self, row: tuple) -> None:
+        key_value = row[self._key_pos]
+        idx = self._bucket_index(key_value)
+        keys = self._bucket_keys[idx]
+        rows = self._bucket_rows[idx]
+        if not keys or key_value >= keys[-1]:
+            keys.append(key_value)
+            rows.append(row)
+        else:
+            pos = bisect.bisect_right(keys, key_value)
+            keys.insert(pos, key_value)
+            rows.insert(pos, row)
+        self._count += 1
+
+    def probe(self, key_value: object) -> list[tuple]:
+        idx = self._bucket_index(key_value)
+        keys = self._bucket_keys[idx]
+        lo = bisect.bisect_left(keys, key_value)
+        hi = bisect.bisect_right(keys, key_value)
+        return self._bucket_rows[idx][lo:hi]
+
+    def scan(self) -> Iterator[tuple]:
+        """Unordered scan (bucket by bucket)."""
+        for rows in self._bucket_rows:
+            yield from rows
+
+    def sorted_scan(self) -> Iterator[tuple]:
+        """Globally key-ordered scan via a k-way merge of the sorted buckets."""
+        key_pos = self._key_pos
+        iterators = [iter(rows) for rows in self._bucket_rows if rows]
+        yield from heapq.merge(*iterators, key=lambda row: row[key_pos])
+
+    def __len__(self) -> int:
+        return self._count
+
+    def bucket_sizes(self) -> list[int]:
+        """Number of tuples per bucket (collision diagnostics)."""
+        return [len(rows) for rows in self._bucket_rows]

@@ -1,0 +1,91 @@
+"""Hash table state structure (the workhorse behind pipelined / hybrid hash joins)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.state.base import StateStructure
+from repro.relational.schema import Schema
+
+
+class HashTableState(StateStructure):
+    """Multimap from a key attribute's value to the tuples carrying it.
+
+    This is the structure pipelined hash joins build on each input, hybrid
+    hash joins build on their inner, and the stitch-up join probes.  It also
+    supports *re-keying* (:meth:`rehashed`), which the stitch-up join uses
+    when a reused structure is keyed on the wrong attribute for the join at
+    hand (paper Section 3.4.3), and simulated partition-wise overflow
+    (:meth:`spill_partition`), mirroring the XJoin-style overflow handling.
+    """
+
+    supports_key_access = True
+
+    def __init__(self, schema: Schema, key: str) -> None:
+        super().__init__(schema, key=key)
+        self._key_pos = schema.position(key)
+        self._buckets: dict[object, list[tuple]] = {}
+        self._count = 0
+        #: bucket keys currently marked as spilled to disk (simulation)
+        self.spilled_keys: set[object] = set()
+
+    def insert(self, row: tuple) -> None:
+        key_value = row[self._key_pos]
+        bucket = self._buckets.get(key_value)
+        if bucket is None:
+            self._buckets[key_value] = [row]
+        else:
+            bucket.append(row)
+        self._count += 1
+
+    def probe(self, key_value: object) -> list[tuple]:
+        return self._buckets.get(key_value, [])
+
+    def scan(self) -> Iterator[tuple]:
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key_value: object) -> bool:
+        return key_value in self._buckets
+
+    def keys(self) -> Iterator[object]:
+        return iter(self._buckets)
+
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def rehashed(self, new_key: str) -> "HashTableState":
+        """Return a new hash table over the same tuples keyed on ``new_key``."""
+        other = HashTableState(self.schema, new_key)
+        for row in self.scan():
+            other.insert(row)
+        return other
+
+    # -- simulated overflow handling ------------------------------------------
+
+    def spill_partition(self, predicate) -> int:
+        """Mark every bucket whose key satisfies ``predicate`` as spilled.
+
+        Returns the number of tuples in the spilled buckets.  Data remains in
+        memory (this is a simulation of Tukwila's lazy partition swapping);
+        the flag exists so overflow-coordination logic can be exercised and
+        tested.
+        """
+        spilled = 0
+        for key_value, bucket in self._buckets.items():
+            if predicate(key_value):
+                self.spilled_keys.add(key_value)
+                spilled += len(bucket)
+        if self.spilled_keys:
+            self.swapped_to_disk = True
+        return spilled
+
+    def is_spilled(self, key_value: object) -> bool:
+        return key_value in self.spilled_keys
+
+    def unspill_all(self) -> None:
+        self.spilled_keys.clear()
+        self.swapped_to_disk = False

@@ -1,0 +1,35 @@
+"""Unordered list state structure (nested-loops buffers, simple materialization)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.state.base import StateStructure
+from repro.relational.schema import Schema
+
+
+class ListState(StateStructure):
+    """Append-only list of tuples.
+
+    Used for nested-loops inner buffering and for materializing small
+    intermediate results that will only ever be scanned sequentially.
+    """
+
+    supports_key_access = False
+
+    def __init__(self, schema: Schema) -> None:
+        super().__init__(schema, key=None)
+        self._rows: list[tuple] = []
+
+    def insert(self, row: tuple) -> None:
+        self._rows.append(row)
+
+    def scan(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> list[tuple]:
+        """Direct access to the backing list (read-only by convention)."""
+        return self._rows

@@ -1,0 +1,65 @@
+"""Sorted list state structure (merge-join buffers, order-preserving stores)."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.engine.state.base import StateStructure, StateStructureError
+from repro.relational.schema import Schema
+
+
+class SortedListState(StateStructure):
+    """List of tuples kept sorted on a single key attribute.
+
+    Inserting an already-in-order stream is O(1) amortized per tuple (append
+    fast path); out-of-order inserts fall back to binary-search insertion.
+    Key-based probes use binary search, and range scans are supported for the
+    merge join.
+    """
+
+    supports_key_access = True
+    provides_sorted_scan = True
+
+    def __init__(self, schema: Schema, key: str) -> None:
+        super().__init__(schema, key=key)
+        self._key_pos = schema.position(key)
+        self._keys: list[object] = []
+        self._rows: list[tuple] = []
+
+    def insert(self, row: tuple) -> None:
+        key_value = row[self._key_pos]
+        if not self._keys or key_value >= self._keys[-1]:
+            self._keys.append(key_value)
+            self._rows.append(row)
+            return
+        idx = bisect.bisect_right(self._keys, key_value)
+        self._keys.insert(idx, key_value)
+        self._rows.insert(idx, row)
+
+    def scan(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def probe(self, key_value: object) -> list[tuple]:
+        lo = bisect.bisect_left(self._keys, key_value)
+        hi = bisect.bisect_right(self._keys, key_value)
+        return self._rows[lo:hi]
+
+    def range_scan(self, low: object, high: object) -> Iterator[tuple]:
+        """Yield tuples with key in ``[low, high]`` (inclusive)."""
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        return iter(self._rows[lo:hi])
+
+    def min_key(self) -> object:
+        if not self._keys:
+            raise StateStructureError("empty sorted list has no minimum key")
+        return self._keys[0]
+
+    def max_key(self) -> object:
+        if not self._keys:
+            raise StateStructureError("empty sorted list has no maximum key")
+        return self._keys[-1]
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,136 @@
+"""Command-line runner for the experiment harnesses.
+
+Regenerate any of the paper's tables/figures without going through pytest::
+
+    python -m repro.experiments.cli fig2          # corrective QP, local sources
+    python -m repro.experiments.cli fig3          # corrective QP, wireless sources
+    python -m repro.experiments.cli fig5          # complementary joins
+    python -m repro.experiments.cli fig6          # pre-aggregation
+    python -m repro.experiments.cli sec4.5        # selectivity prediction
+    python -m repro.experiments.cli ablations     # sensitivity sweeps
+    python -m repro.experiments.cli all           # everything
+
+Use ``--scale`` to trade runtime for fidelity (default 0.003) and ``--seed``
+for a different deterministic instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments.ablations import (
+    sweep_polling_interval,
+    sweep_priority_queue_capacity,
+    sweep_window_policy,
+)
+from repro.experiments.common import DEFAULT_SCALE_FACTOR, DEFAULT_SEED, format_table
+from repro.experiments.complementary import (
+    complementary_distribution,
+    run_complementary_comparison,
+)
+from repro.experiments.corrective import (
+    comparison_rows,
+    run_corrective_comparison,
+    stitchup_breakdown,
+)
+from repro.experiments.preaggregation import run_preaggregation_comparison
+from repro.experiments.selectivity import run_selectivity_prediction
+
+
+def _print(title: str, table: str) -> None:
+    print(f"\n=== {title} ===")
+    print(table)
+
+
+def run_fig2(scale: float, seed: int) -> None:
+    results = run_corrective_comparison(
+        scale_factor=scale, seed=seed, forced_bad_start=True
+    )
+    _print("Figure 2 — corrective query processing (local)", format_table(comparison_rows(results)))
+    _print("Table 1 — stitch-up breakdown", format_table(stitchup_breakdown(results)))
+
+
+def run_fig3(scale: float, seed: int) -> None:
+    results = run_corrective_comparison(
+        scale_factor=scale,
+        seed=seed,
+        wireless=True,
+        include_plan_partitioning=False,
+        forced_bad_start=True,
+        query_names=("Q3A", "Q10A", "Q5"),
+    )
+    _print("Figure 3 — corrective query processing (wireless)", format_table(comparison_rows(results)))
+    _print("Table 2 — stitch-up breakdown (wireless)", format_table(stitchup_breakdown(results)))
+
+
+def run_fig5(scale: float, seed: int) -> None:
+    rows = run_complementary_comparison(scale_factor=scale, seed=seed)
+    _print("Figure 5 — complementary joins", format_table(rows))
+    _print("Table 3 — output distribution", format_table(complementary_distribution(rows)))
+
+
+def run_fig6(scale: float, seed: int) -> None:
+    rows = run_preaggregation_comparison(scale_factor=scale, seed=seed)
+    _print("Figure 6 — pre-aggregation strategies", format_table(rows))
+
+
+def run_sec45(scale: float, seed: int) -> None:
+    result = run_selectivity_prediction(scale_factor=scale, seed=seed)
+    _print("Section 4.5 — selectivity prediction", format_table(result["prediction_rows"]))
+    print(f"histogram maintenance overhead: {result['overhead']}")
+
+
+def run_ablations(scale: float, seed: int) -> None:
+    _print("Ablation — re-optimization polling interval",
+           format_table(sweep_polling_interval(scale_factor=scale, seed=seed)))
+    _print("Ablation — priority-queue capacity",
+           format_table(sweep_priority_queue_capacity(scale_factor=scale, seed=seed)))
+    _print("Ablation — adjustable-window policy",
+           format_table(sweep_window_policy(scale_factor=scale, seed=seed)))
+
+
+EXPERIMENTS: dict[str, Callable[[float, int], None]] = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "sec4.5": run_sec45,
+    "ablations": run_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE_FACTOR,
+        help=f"TPC-H scale factor for the generated data (default {DEFAULT_SCALE_FACTOR})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="random seed (default 2004)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        for name in ("fig2", "fig3", "fig5", "fig6", "sec4.5", "ablations"):
+            EXPERIMENTS[name](args.scale, args.seed)
+    else:
+        EXPERIMENTS[args.experiment](args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

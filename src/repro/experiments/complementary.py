@@ -1,0 +1,108 @@
+"""Complementary-join experiments (Figure 5 and Table 3).
+
+The experiment joins LINEITEM with ORDERS on the order key — both relations
+are generated clustered on that key, i.e. fully sorted — and compares three
+strategies over progressively perturbed copies of the data (0 %, 1 %, 10 %,
+50 % of the rows displaced):
+
+* a single pipelined hash join (the baseline Tukwila would otherwise use),
+* a complementary join pair with naive order routing,
+* a complementary join pair with a priority-queue reorderer in front of the
+  router (1024-tuple queue in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.complementary import ComplementaryJoinPair, PipelinedHashJoinBaseline
+from repro.experiments.common import (
+    DEFAULT_SCALE_FACTOR,
+    DEFAULT_SEED,
+    build_dataset,
+)
+from repro.workloads.perturb import reorder_fraction
+
+#: Reordering fractions evaluated in Figure 5.
+DEFAULT_REORDER_FRACTIONS = (0.0, 0.01, 0.1, 0.5)
+#: Priority-queue capacity used by the paper.
+DEFAULT_QUEUE_CAPACITY = 1024
+
+
+def _perturbed_inputs(dataset, fraction: float, seed: int):
+    lineitem = reorder_fraction(dataset.data.lineitem, fraction, seed=seed * 7 + 1)
+    orders = reorder_fraction(dataset.data.orders, fraction, seed=seed * 7 + 2)
+    return lineitem, orders
+
+
+def run_complementary_comparison(
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    datasets: Sequence[str] = ("uniform", "skewed"),
+    reorder_fractions: Sequence[float] = DEFAULT_REORDER_FRACTIONS,
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    seed: int = DEFAULT_SEED,
+) -> list[dict[str, object]]:
+    """Run Figure 5: one row per (dataset, reorder fraction, strategy)."""
+    rows: list[dict[str, object]] = []
+    for label in datasets:
+        zipf = 0.0 if label == "uniform" else 0.5
+        dataset = build_dataset(label, scale_factor, zipf, seed)
+        for fraction in reorder_fractions:
+            lineitem, orders = _perturbed_inputs(dataset, fraction, seed)
+            runs = {
+                "pipelined_hash": PipelinedHashJoinBaseline(
+                    lineitem, orders, "l_orderkey", "o_orderkey"
+                ),
+                "complementary_naive": ComplementaryJoinPair(
+                    lineitem, orders, "l_orderkey", "o_orderkey"
+                ),
+                "complementary_priority_queue": ComplementaryJoinPair(
+                    lineitem,
+                    orders,
+                    "l_orderkey",
+                    "o_orderkey",
+                    use_priority_queue=True,
+                    queue_capacity=queue_capacity,
+                ),
+            }
+            for strategy, runner in runs.items():
+                report = runner.execute()
+                rows.append(
+                    {
+                        "dataset": label,
+                        "reordered": fraction,
+                        "strategy": strategy,
+                        "seconds": round(report.simulated_seconds, 2),
+                        "outputs": report.output_count,
+                        "hash_outputs": report.outputs_by_component.get("hash", 0),
+                        "merge_outputs": report.outputs_by_component.get("merge", 0),
+                        "stitch_outputs": report.outputs_by_component.get("stitch", 0),
+                    }
+                )
+    return rows
+
+
+def complementary_distribution(
+    figure5_rows: Sequence[dict[str, object]],
+) -> list[dict[str, object]]:
+    """Table 3: the per-component output distribution of the complementary runs."""
+    rows = []
+    for row in figure5_rows:
+        if row["strategy"] == "pipelined_hash":
+            continue
+        variant = (
+            "priority_queue"
+            if row["strategy"] == "complementary_priority_queue"
+            else "naive"
+        )
+        rows.append(
+            {
+                "dataset": row["dataset"],
+                "reordered": row["reordered"],
+                "variant": variant,
+                "hash": row["hash_outputs"],
+                "merge": row["merge_outputs"],
+                "stitch": row["stitch_outputs"],
+            }
+        )
+    return rows

@@ -1,0 +1,5 @@
+"""Integration facade: the user-facing entry point of the library."""
+
+from repro.integration.system import AdaptiveIntegrationSystem, QueryAnswer
+
+__all__ = ["AdaptiveIntegrationSystem", "QueryAnswer"]

@@ -1,0 +1,181 @@
+"""The data integration system facade.
+
+:class:`AdaptiveIntegrationSystem` plays the role Tukwila plays in the paper:
+the central query processor that registers autonomous sources (local or
+remote, with or without statistics), accepts SPJA queries over them, and
+executes them with a selectable strategy:
+
+* ``"static"`` — optimize once, run to completion;
+* ``"corrective"`` — corrective query processing with adaptive data
+  partitioning (the paper's contribution, the default);
+* ``"plan_partitioning"`` — mid-query re-optimization at a materialization
+  point.
+
+It returns a :class:`QueryAnswer` bundling the result rows with the execution
+report, so applications can both consume answers and inspect how adaptation
+behaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.baselines.plan_partitioning import PlanPartitioningExecutor
+from repro.baselines.static_executor import StaticExecutor
+from repro.core.corrective import CorrectiveQueryProcessor
+from repro.engine.cost import CostModel
+from repro.relational.algebra import SPJAQuery
+from repro.relational.catalog import Catalog, TableStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.description import MappedSource, SourceDescription
+from repro.sources.source import DataSource
+
+_STRATEGIES = ("corrective", "static", "plan_partitioning")
+
+
+class UnknownStrategyError(ValueError):
+    """Raised when an unsupported execution strategy is requested."""
+
+
+@dataclass
+class QueryAnswer:
+    """Query results plus the execution report that produced them."""
+
+    query_name: str
+    strategy: str
+    rows: list[tuple]
+    schema: Schema | None
+    simulated_seconds: float
+    report: object
+    details: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_dicts(self) -> list[dict]:
+        if self.schema is None:
+            raise ValueError("this answer carries no schema (aggregate-only output)")
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows]
+
+
+class AdaptiveIntegrationSystem:
+    """Register sources, pose SPJA queries, pick an execution strategy."""
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.catalog = Catalog()
+        self._sources: dict[str, object] = {}
+        self._descriptions: dict[str, SourceDescription] = {}
+
+    # -- source registration -------------------------------------------------------
+
+    def register_source(
+        self,
+        source: Relation | DataSource,
+        statistics: TableStatistics | None = None,
+        description: SourceDescription | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Register a source (a local relation or a remote/streaming source).
+
+        ``statistics`` is whatever the provider publishes (often nothing);
+        ``description`` optionally carries the semantic mapping to the global
+        schema.  Returns the name under which the source was registered.
+        """
+        source_name = name or source.name
+        registered: object = source
+        local_relation = source if isinstance(source, Relation) else None
+        if description is not None:
+            mapped = MappedSource(source, description)
+            source_name = name or description.global_relation
+            registered = mapped
+            local_relation = (
+                mapped.to_relation() if isinstance(source, Relation) else None
+            )
+            self._descriptions[source_name] = description
+        self.catalog.register(
+            source_name, registered.schema, statistics, local_relation
+        )
+        self._sources[source_name] = (
+            local_relation if local_relation is not None else registered
+        )
+        return source_name
+
+    def register_sources(self, sources: Iterable[Relation | DataSource]) -> list[str]:
+        return [self.register_source(source) for source in sources]
+
+    def source_names(self) -> tuple[str, ...]:
+        return tuple(self._sources)
+
+    # -- querying --------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: SPJAQuery,
+        strategy: str = "corrective",
+        **options,
+    ) -> QueryAnswer:
+        """Execute ``query`` with the chosen strategy.
+
+        Keyword options are forwarded to the strategy's executor — e.g.
+        ``polling_interval_seconds`` and ``switch_threshold`` for
+        ``"corrective"``, ``materialize_after_joins`` for
+        ``"plan_partitioning"``.
+        """
+        if strategy not in _STRATEGIES:
+            raise UnknownStrategyError(
+                f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+            )
+        missing = [name for name in query.relations if name not in self._sources]
+        if missing:
+            raise KeyError(f"query references unregistered sources: {missing}")
+
+        if strategy == "static":
+            executor = StaticExecutor(
+                self.catalog, self._sources, self.cost_model, **options
+            )
+            report = executor.execute(query)
+            rows, schema, seconds = report.rows, report.schema, report.simulated_seconds
+        elif strategy == "plan_partitioning":
+            executor = PlanPartitioningExecutor(
+                self.catalog, self._sources, self.cost_model, **options
+            )
+            report = executor.execute(query)
+            rows, schema, seconds = report.rows, report.schema, report.simulated_seconds
+        else:
+            processor = CorrectiveQueryProcessor(
+                self.catalog, self._sources, self.cost_model, **options
+            )
+            report = processor.execute(query)
+            rows, schema, seconds = report.rows, report.schema, report.simulated_seconds
+
+        return QueryAnswer(
+            query_name=query.name,
+            strategy=strategy,
+            rows=rows,
+            schema=schema,
+            simulated_seconds=seconds,
+            report=report,
+        )
+
+    # -- introspection -----------------------------------------------------------------
+
+    def describe_sources(self) -> list[dict[str, object]]:
+        """Summaries of all registered sources (for examples / debugging)."""
+        summaries = []
+        for name in self._sources:
+            entry = self.catalog.entry(name)
+            summaries.append(
+                {
+                    "name": name,
+                    "attributes": entry.schema.names,
+                    "cardinality": entry.statistics.cardinality,
+                    "keys": entry.statistics.key_attributes,
+                    "sorted_on": entry.statistics.sorted_on,
+                    "remote": not isinstance(self._sources[name], Relation),
+                }
+            )
+        return summaries

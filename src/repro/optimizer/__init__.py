@@ -1,0 +1,35 @@
+"""Query optimizer / re-optimizer.
+
+A System-R-flavoured cost-based optimizer with the extensions the paper
+describes (Section 4.3): top-down enumeration with memoization, bushy join
+trees, pre-aggregation push-down, and a cost model that can fold in runtime
+observations — observed subexpression selectivities, the "multiplicative
+join" flag, and credit for work already performed by earlier phases.
+"""
+
+from repro.optimizer.plans import JoinTree, PhysicalPlan, PreAggPoint
+from repro.optimizer.statistics import (
+    ObservedStatistics,
+    SelectivityEstimator,
+    selectivity_key,
+)
+from repro.optimizer.cost_model import CostEstimate, PlanCostModel
+from repro.optimizer.enumerator import JoinEnumerator, Optimizer
+from repro.optimizer.rewrite import find_preaggregation_points
+from repro.optimizer.reoptimizer import ReOptimizer, ReOptimizationDecision
+
+__all__ = [
+    "JoinTree",
+    "PhysicalPlan",
+    "PreAggPoint",
+    "ObservedStatistics",
+    "SelectivityEstimator",
+    "selectivity_key",
+    "CostEstimate",
+    "PlanCostModel",
+    "JoinEnumerator",
+    "Optimizer",
+    "find_preaggregation_points",
+    "ReOptimizer",
+    "ReOptimizationDecision",
+]

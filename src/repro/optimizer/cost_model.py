@@ -1,0 +1,147 @@
+"""Plan cost model.
+
+Estimates the work-unit cost of executing an SPJA query with a given join
+tree, using the same weights the execution engine charges at runtime
+(:class:`~repro.engine.cost.CostModel`).  That symmetry is deliberate: it
+lets the re-optimizer compare its *estimates* for candidate plans against the
+*observed* work of the currently running plan on an equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.cost import CostModel
+from repro.optimizer.plans import JoinTree, PhysicalPlan, PreAggPoint
+from repro.optimizer.statistics import SelectivityEstimator
+from repro.relational.algebra import SPJAQuery
+
+
+@dataclass
+class CostEstimate:
+    """Cost and cardinality estimates for one candidate plan."""
+
+    total_cost: float
+    output_cardinality: float
+    cardinalities: dict[frozenset, float] = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "CostEstimate":
+        """Scale the cost (used to estimate cost over a fraction of the data)."""
+        return CostEstimate(
+            total_cost=self.total_cost * factor,
+            output_cardinality=self.output_cardinality * factor,
+            cardinalities=dict(self.cardinalities),
+        )
+
+
+class PlanCostModel:
+    """Estimates plan costs for pipelined-hash-join execution."""
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or CostModel()
+
+    # -- join trees ---------------------------------------------------------------
+
+    def estimate_tree(
+        self,
+        query: SPJAQuery,
+        tree: JoinTree,
+        estimator: SelectivityEstimator,
+    ) -> CostEstimate:
+        """Cost of executing ``tree`` with symmetric hash joins, plus final aggregation."""
+        cardinalities: dict[frozenset, float] = {}
+        cost, cardinality = self._tree_cost(query, tree, estimator, cardinalities)
+        if query.aggregation is not None:
+            cost += cardinality * self.cost_model.aggregate_update * max(
+                len(query.aggregation.aggregates), 1
+            )
+        return CostEstimate(cost, cardinality, cardinalities)
+
+    def _tree_cost(
+        self,
+        query: SPJAQuery,
+        tree: JoinTree,
+        estimator: SelectivityEstimator,
+        cardinalities: dict[frozenset, float],
+    ) -> tuple[float, float]:
+        relations = tree.relations()
+        if tree.is_leaf:
+            cardinality = estimator.estimate_cardinality(relations)
+            cardinalities[relations] = cardinality
+            # Reading the source and evaluating its selection.
+            base = estimator.base_cardinality(tree.relation)
+            cost = base * (self.cost_model.tuple_read + self.cost_model.predicate_eval)
+            return cost, cardinality
+
+        left_cost, left_card = self._tree_cost(query, tree.left, estimator, cardinalities)
+        right_cost, right_card = self._tree_cost(query, tree.right, estimator, cardinalities)
+        cardinality = estimator.estimate_cardinality(relations)
+        cardinalities[relations] = cardinality
+
+        model = self.cost_model
+        # Symmetric hash join: every input tuple is inserted into its own hash
+        # table and probes the other side's table; every output tuple is copied.
+        join_cost = (
+            (left_card + right_card) * (model.hash_insert + model.hash_probe)
+            + cardinality * model.tuple_copy
+        )
+        return left_cost + right_cost + join_cost, cardinality
+
+    # -- physical plans --------------------------------------------------------------
+
+    def estimate_plan(
+        self,
+        plan: PhysicalPlan,
+        estimator: SelectivityEstimator,
+    ) -> CostEstimate:
+        """Cost of a physical plan, accounting for pre-aggregation points."""
+        base = self.estimate_tree(plan.query, plan.join_tree, estimator)
+        if not plan.preagg_points:
+            return base
+        adjustment = 0.0
+        for point in plan.preagg_points:
+            adjustment += self._preagg_adjustment(plan, point, base, estimator)
+        return CostEstimate(
+            base.total_cost + adjustment, base.output_cardinality, base.cardinalities
+        )
+
+    def _preagg_adjustment(
+        self,
+        plan: PhysicalPlan,
+        point: PreAggPoint,
+        base: CostEstimate,
+        estimator: SelectivityEstimator,
+    ) -> float:
+        """Cost delta of inserting a pre-aggregation operator above a subtree.
+
+        Pre-aggregation pays one aggregate update per input tuple and, in
+        exchange, shrinks the tuple stream feeding the joins above.  The
+        reduction factor is estimated from the ratio of distinct grouping
+        keys to input cardinality; without statistics the operator is assumed
+        to be roughly cost-neutral, which mirrors the paper's observation
+        that the adjustable-window operator is low-risk.
+        """
+        input_card = base.cardinalities.get(frozenset(point.below))
+        if input_card is None:
+            input_card = estimator.estimate_cardinality(frozenset(point.below))
+        update_cost = input_card * self.cost_model.aggregate_update
+        # Estimated reduction: estimated partial-group count / input cardinality,
+        # where the group count is the product of the grouping attributes'
+        # distinct counts (capped at the input size).
+        reduction = 0.5
+        if point.group_attributes:
+            group_estimate = 1.0
+            found = False
+            for attr in point.group_attributes:
+                for rel in point.below:
+                    if attr in estimator.catalog.schema(rel).names:
+                        group_estimate *= estimator.distinct_values(rel, attr)
+                        found = True
+                        break
+            if not found:
+                group_estimate = input_card
+            reduction = min(group_estimate / max(input_card, 1.0), 1.0)
+        saved = input_card * (1.0 - reduction) * (
+            self.cost_model.hash_insert + self.cost_model.hash_probe
+        )
+        return update_cost - saved

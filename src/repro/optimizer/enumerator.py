@@ -1,0 +1,241 @@
+"""Join-order enumeration and the top-level optimizer.
+
+Tukwila's optimizer is "based on top-down enumeration (recursion with
+memoization, equivalent to dynamic programming but more flexible for sharing
+subexpressions between optimizer re-invocations)" and performs **bushy-tree
+enumeration**, which prior work showed matters for data integration queries
+(Section 4.3).  This module reproduces that: :class:`JoinEnumerator` finds
+the cheapest (possibly bushy) join tree for a connected relation set, and
+:class:`Optimizer` wraps it into a full :class:`PhysicalPlan`, optionally
+adding pre-aggregation points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.cost import CostModel
+from repro.optimizer.cost_model import CostEstimate, PlanCostModel
+from repro.optimizer.plans import JoinTree, PhysicalPlan, PreAggPoint
+from repro.optimizer.rewrite import find_preaggregation_points
+from repro.optimizer.statistics import ObservedStatistics, SelectivityEstimator
+from repro.relational.algebra import SPJAQuery
+from repro.relational.catalog import Catalog, DEFAULT_ASSUMED_CARDINALITY
+
+
+@dataclass
+class _MemoEntry:
+    tree: JoinTree
+    cost: float
+    cardinality: float
+
+
+class JoinEnumerator:
+    """Memoized top-down enumeration of bushy join trees."""
+
+    def __init__(
+        self,
+        query: SPJAQuery,
+        estimator: SelectivityEstimator,
+        cost_model: CostModel | None = None,
+        bushy: bool = True,
+    ) -> None:
+        self.query = query
+        self.estimator = estimator
+        self.plan_cost_model = PlanCostModel(cost_model)
+        self.bushy = bushy
+        self._memo: dict[frozenset, _MemoEntry] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def best_tree(self) -> JoinTree:
+        """Cheapest join tree over all of the query's relations."""
+        return self._best(frozenset(self.query.relations)).tree
+
+    def best_entry(self) -> _MemoEntry:
+        """Memo entry (tree, cost, cardinality) for the full relation set."""
+        return self._best(frozenset(self.query.relations))
+
+    def cost_of(self, tree: JoinTree) -> CostEstimate:
+        """Cost of a specific (externally supplied) join tree."""
+        return self.plan_cost_model.estimate_tree(self.query, tree, self.estimator)
+
+    # -- enumeration ------------------------------------------------------------
+
+    def _connected(self, relations: frozenset) -> bool:
+        """True when the join graph restricted to ``relations`` is connected."""
+        if len(relations) <= 1:
+            return True
+        relations = set(relations)
+        start = next(iter(relations))
+        reached = {start}
+        frontier = {start}
+        while frontier:
+            nxt = set()
+            for pred in self.query.join_predicates:
+                if not (pred.left_relation in relations and pred.right_relation in relations):
+                    continue
+                if pred.left_relation in frontier and pred.right_relation not in reached:
+                    nxt.add(pred.right_relation)
+                if pred.right_relation in frontier and pred.left_relation not in reached:
+                    nxt.add(pred.left_relation)
+            reached |= nxt
+            frontier = nxt
+        return reached == relations
+
+    def _splits(self, relations: frozenset):
+        """Yield (left, right) partitions of ``relations`` to consider."""
+        members = sorted(relations)
+        n = len(members)
+        if not self.bushy:
+            # Left-deep enumeration: the right input is always a single relation.
+            for name in members:
+                right_set = frozenset((name,))
+                left_set = relations - right_set
+                if left_set:
+                    yield left_set, right_set
+            return
+        # Bushy enumeration: proper non-empty subsets; fixing the first member
+        # on the left side avoids generating every partition twice.
+        first = members[0]
+        rest = members[1:]
+        for mask in range(1 << len(rest)):
+            left = {first}
+            for i, name in enumerate(rest):
+                if mask & (1 << i):
+                    left.add(name)
+            if len(left) == n:
+                continue
+            left_set = frozenset(left)
+            yield left_set, relations - left_set
+
+    def _best(self, relations: frozenset) -> _MemoEntry:
+        entry = self._memo.get(relations)
+        if entry is not None:
+            return entry
+        if len(relations) == 1:
+            (relation,) = relations
+            tree = JoinTree.leaf(relation)
+            estimate = self.plan_cost_model.estimate_tree(self.query, tree, self.estimator)
+            entry = _MemoEntry(tree, estimate.total_cost, estimate.output_cardinality)
+            self._memo[relations] = entry
+            return entry
+
+        best: _MemoEntry | None = None
+        for left_set, right_set in self._splits(relations):
+            if not self.query.predicates_between(left_set, right_set):
+                continue
+            if not self._connected(left_set) or not self._connected(right_set):
+                continue
+            left_entry = self._best(left_set)
+            right_entry = self._best(right_set)
+            tree = JoinTree.join(left_entry.tree, right_entry.tree)
+            estimate = self.plan_cost_model.estimate_tree(self.query, tree, self.estimator)
+            if best is None or estimate.total_cost < best.cost:
+                best = _MemoEntry(tree, estimate.total_cost, estimate.output_cardinality)
+        if best is None:
+            raise ValueError(
+                f"no connected join tree exists for relations {sorted(relations)} "
+                f"of query {self.query.name}"
+            )
+        self._memo[relations] = best
+        return best
+
+
+class Optimizer:
+    """Cost-based optimizer producing complete physical plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+        bushy: bool = True,
+        default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.bushy = bushy
+        self.default_cardinality = default_cardinality
+
+    def make_estimator(
+        self, query: SPJAQuery, observed: ObservedStatistics | None = None
+    ) -> SelectivityEstimator:
+        return SelectivityEstimator(
+            self.catalog, query, observed, self.default_cardinality
+        )
+
+    def optimize(
+        self,
+        query: SPJAQuery,
+        observed: ObservedStatistics | None = None,
+        preaggregation: str | None = None,
+    ) -> PhysicalPlan:
+        """Pick the cheapest plan for ``query``.
+
+        ``preaggregation`` selects how pre-aggregation points are inserted:
+        ``None`` (no pre-aggregation), ``"window"`` (adjustable-window
+        operators at every applicable point — the paper's low-risk default),
+        or ``"traditional"`` (blocking pre-aggregates, only where the cost
+        model estimates a benefit).
+        """
+        estimator = self.make_estimator(query, observed)
+        enumerator = JoinEnumerator(query, estimator, self.cost_model, self.bushy)
+        tree = enumerator.best_tree()
+        estimate = enumerator.cost_of(tree)
+        preagg_points: tuple[PreAggPoint, ...] = ()
+        if preaggregation is not None and query.aggregation is not None:
+            schemas = {name: self.catalog.schema(name) for name in query.relations}
+            points = find_preaggregation_points(query, tree, schemas, mode=preaggregation)
+            if preaggregation == "traditional":
+                points = tuple(
+                    p for p in points if self._preagg_beneficial(query, p, estimator)
+                )
+            preagg_points = points
+        return PhysicalPlan(
+            query=query,
+            join_tree=tree,
+            preagg_points=preagg_points,
+            estimated_cost=estimate.total_cost,
+            estimated_cardinalities=estimate.cardinalities,
+        )
+
+    def optimize_tree(
+        self, query: SPJAQuery, observed: ObservedStatistics | None = None
+    ) -> JoinTree:
+        """Shortcut returning only the chosen join tree."""
+        return self.optimize(query, observed).join_tree
+
+    def cost_of_tree(
+        self,
+        query: SPJAQuery,
+        tree: JoinTree,
+        observed: ObservedStatistics | None = None,
+    ) -> CostEstimate:
+        estimator = self.make_estimator(query, observed)
+        enumerator = JoinEnumerator(query, estimator, self.cost_model, self.bushy)
+        return enumerator.cost_of(tree)
+
+    def _preagg_beneficial(
+        self, query: SPJAQuery, point: PreAggPoint, estimator: SelectivityEstimator
+    ) -> bool:
+        """Apply traditional pre-aggregation only when it is estimated to shrink data.
+
+        The estimated number of partial groups is the product of the grouping
+        attributes' distinct counts (capped at the input size); conventional
+        systems apply the transformation only when that is clearly smaller
+        than the input — which is exactly the conservatism the adjustable-
+        window operator exists to avoid.
+        """
+        input_card = estimator.estimate_cardinality(frozenset(point.below))
+        group_estimate = 1.0
+        found = False
+        for attr in point.group_attributes:
+            for relation in point.below:
+                if attr in estimator.catalog.schema(relation).names:
+                    group_estimate *= estimator.distinct_values(relation, attr)
+                    found = True
+                    break
+        if not found:
+            return False
+        group_estimate = min(group_estimate, input_card)
+        return group_estimate < 0.8 * input_card

@@ -1,0 +1,128 @@
+"""Runtime re-optimization.
+
+The corrective query processor periodically asks the re-optimizer whether the
+currently running plan should be abandoned for a better one (Section 4.1).
+The re-optimizer re-estimates costs using the selectivities and source
+counters the monitor has collected, compares the estimated cost of finishing
+the query with the current join tree against the best alternative tree, and
+recommends a switch only if the alternative is better by a configurable
+margin (switching has a cost: the eventual stitch-up work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.cost import CostModel
+from repro.optimizer.cost_model import PlanCostModel
+from repro.optimizer.enumerator import JoinEnumerator
+from repro.optimizer.plans import JoinTree
+from repro.optimizer.statistics import ObservedStatistics, SelectivityEstimator
+from repro.relational.algebra import SPJAQuery
+from repro.relational.catalog import Catalog, DEFAULT_ASSUMED_CARDINALITY
+
+
+@dataclass
+class ReOptimizationDecision:
+    """Outcome of one re-optimization poll."""
+
+    switch: bool
+    current_tree: JoinTree
+    recommended_tree: JoinTree
+    current_cost: float
+    recommended_cost: float
+    remaining_fraction: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction the recommended tree promises (0 when none)."""
+        if self.current_cost <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.recommended_cost / self.current_cost)
+
+
+class ReOptimizer:
+    """Cost-based plan re-evaluation fed by runtime observations."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+        switch_threshold: float = 0.8,
+        bushy: bool = True,
+        default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
+    ) -> None:
+        """``switch_threshold``: recommend a switch only when the alternative's
+        estimated remaining cost is below ``threshold * current remaining cost``."""
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.switch_threshold = switch_threshold
+        self.bushy = bushy
+        self.default_cardinality = default_cardinality
+        self.plan_cost_model = PlanCostModel(self.cost_model)
+        self.invocations = 0
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _estimator(
+        self, query: SPJAQuery, observed: ObservedStatistics
+    ) -> SelectivityEstimator:
+        return SelectivityEstimator(
+            self.catalog, query, observed, self.default_cardinality
+        )
+
+    def _remaining_fraction(
+        self, query: SPJAQuery, observed: ObservedStatistics, estimator: SelectivityEstimator
+    ) -> float:
+        """Average fraction of the source data still to be read.
+
+        Per the consistency heuristic of Section 4.2, the cost of the rest of
+        the query is extrapolated assuming performance stays proportional to
+        the unread fraction of the inputs.
+        """
+        fractions = []
+        for relation in query.relations:
+            obs = observed.source(relation)
+            total = estimator.base_cardinality(relation)
+            read = obs.tuples_read if obs is not None else 0
+            fractions.append(max(0.0, 1.0 - read / max(total, 1.0)))
+        if not fractions:
+            return 1.0
+        return sum(fractions) / len(fractions)
+
+    # -- main entry point --------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: SPJAQuery,
+        current_tree: JoinTree,
+        observed: ObservedStatistics,
+    ) -> ReOptimizationDecision:
+        """Compare the running tree against the best alternative under new stats."""
+        self.invocations += 1
+        estimator = self._estimator(query, observed)
+        enumerator = JoinEnumerator(query, estimator, self.cost_model, self.bushy)
+        current_estimate = enumerator.cost_of(current_tree)
+        best_tree = enumerator.best_tree()
+        best_estimate = enumerator.cost_of(best_tree)
+        remaining = self._remaining_fraction(query, observed, estimator)
+
+        current_remaining_cost = current_estimate.total_cost * remaining
+        best_remaining_cost = best_estimate.total_cost * remaining
+
+        same_tree = best_tree.leaf_order() == current_tree.leaf_order() and str(
+            best_tree
+        ) == str(current_tree)
+        switch = (
+            not same_tree
+            and remaining > 0.02
+            and best_remaining_cost < self.switch_threshold * current_remaining_cost
+        )
+        return ReOptimizationDecision(
+            switch=switch,
+            current_tree=current_tree,
+            recommended_tree=best_tree,
+            current_cost=current_remaining_cost,
+            recommended_cost=best_remaining_cost,
+            remaining_fraction=remaining,
+        )

@@ -1,0 +1,115 @@
+"""Plan rewrites: pre-aggregation push-down.
+
+Following Chaudhuri & Shim's "including GROUP BY in query optimization"
+(paper reference [4]) as used by Tukwila, the optimizer may place a partial
+grouping operator below the final GROUP BY.  The partial groups are formed on
+the union of (a) the final grouping attributes available in the subtree and
+(b) the subtree's join attributes referenced above it, so that joins above
+the pre-aggregation point remain answerable.  The aggregation functions
+themselves distribute over union (min/max/sum/count, with avg decomposed
+into sum+count), so a later "coalescing" aggregation produces the same final
+answer.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.plans import JoinTree, PreAggPoint
+from repro.relational.algebra import SPJAQuery
+from repro.relational.schema import Schema
+
+
+def subtree_attributes(tree: JoinTree, schemas: dict[str, Schema]) -> set[str]:
+    """All attribute names produced by a join subtree."""
+    names: set[str] = set()
+    for relation in tree.relations():
+        names.update(schemas[relation].names)
+    return names
+
+
+def required_above(
+    query: SPJAQuery, tree: JoinTree, subtree: JoinTree, schemas: dict[str, Schema]
+) -> set[str]:
+    """Attributes of ``subtree`` that operators above it still need.
+
+    These are the join attributes connecting the subtree to the rest of the
+    query plus any final grouping attributes the subtree contributes.
+    """
+    inside = subtree.relations()
+    outside = tree.relations() - inside
+    needed: set[str] = set()
+    for pred in query.join_predicates:
+        if pred.left_relation in inside and pred.right_relation in outside:
+            needed.add(pred.left_attr)
+        elif pred.right_relation in inside and pred.left_relation in outside:
+            needed.add(pred.right_attr)
+    if query.aggregation is not None:
+        available = subtree_attributes(subtree, schemas)
+        needed.update(
+            attr for attr in query.aggregation.group_attributes if attr in available
+        )
+    return needed
+
+
+def aggregate_attributes_covered(
+    query: SPJAQuery, subtree: JoinTree, schemas: dict[str, Schema]
+) -> bool:
+    """True when every aggregated attribute is produced inside ``subtree``."""
+    if query.aggregation is None:
+        return False
+    available = subtree_attributes(subtree, schemas)
+    for agg in query.aggregation.aggregates:
+        if agg.attribute is not None and agg.attribute not in available:
+            return False
+    return True
+
+
+def find_preaggregation_points(
+    query: SPJAQuery,
+    tree: JoinTree,
+    schemas: dict[str, Schema],
+    mode: str = "window",
+) -> tuple[PreAggPoint, ...]:
+    """Every subtree above which a pre-aggregation operator may be inserted.
+
+    A subtree is a valid pre-aggregation point when it covers all aggregated
+    attributes (so partial aggregates can be formed locally) but not the
+    whole query (there must be a join above to benefit).  Among nested valid
+    subtrees only the smallest is kept — pre-aggregating as early as possible
+    maximizes the data reduction and matches where the paper inserts its
+    adjustable-window operator.
+    """
+    if query.aggregation is None:
+        return ()
+    all_relations = tree.relations()
+    candidates: list[JoinTree] = []
+    for subtree in tree.subtrees():
+        if subtree.relations() == all_relations:
+            continue
+        if aggregate_attributes_covered(query, subtree, schemas):
+            candidates.append(subtree)
+    if not candidates:
+        return ()
+    # Keep only minimal candidates (no other candidate strictly inside them).
+    minimal: list[JoinTree] = []
+    for candidate in candidates:
+        relations = candidate.relations()
+        if any(
+            other.relations() < relations for other in candidates if other is not candidate
+        ):
+            continue
+        minimal.append(candidate)
+
+    points = []
+    seen: set[frozenset] = set()
+    for subtree in minimal:
+        relations = subtree.relations()
+        if relations in seen:
+            continue
+        seen.add(relations)
+        group_attrs = tuple(sorted(required_above(query, tree, subtree, schemas)))
+        if not group_attrs:
+            continue
+        points.append(
+            PreAggPoint(below=relations, mode=mode, group_attributes=group_attrs)
+        )
+    return tuple(points)

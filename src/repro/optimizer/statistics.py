@@ -1,0 +1,292 @@
+"""Optimizer statistics: what is known a priori plus what execution revealed.
+
+The paper's re-estimation scheme (Section 4.2) drives everything here:
+
+* One *subexpression selectivity* is recorded per logically equivalent
+  subexpression, regardless of the physical plan that computed it, defined as
+  output cardinality divided by the product of the input relations'
+  cardinalities.
+* When a subexpression has not been observed, its cardinality is estimated by
+  **averaging** a System-R-style estimate with a key/foreign-key speculation
+  ("the parent expression may be a key-foreign-key join, whose cardinality
+  would match the size of the foreign-key relation").
+* Join predicates observed to be **multiplicative** (output larger than both
+  inputs) are flagged, and any future estimate involving them is scaled by
+  the observed blow-up factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.relational.algebra import SPJAQuery
+from repro.relational.catalog import Catalog, DEFAULT_ASSUMED_CARDINALITY
+from repro.relational.expressions import JoinPredicate
+
+
+def selectivity_key(relations: Iterable[str]) -> frozenset:
+    """Canonical key identifying a logical subexpression (its relation set)."""
+    return frozenset(relations)
+
+
+def predicate_key(predicate: JoinPredicate) -> frozenset:
+    """Canonical key for a join predicate (order-independent)."""
+    return frozenset(
+        (
+            (predicate.left_relation, predicate.left_attr),
+            (predicate.right_relation, predicate.right_attr),
+        )
+    )
+
+
+@dataclass
+class SourceObservation:
+    """Runtime knowledge about one source relation."""
+
+    tuples_read: int = 0
+    tuples_passed_selection: int = 0
+    exhausted: bool = False
+
+    @property
+    def observed_selection_selectivity(self) -> float | None:
+        if self.tuples_read == 0:
+            return None
+        return self.tuples_passed_selection / self.tuples_read
+
+
+@dataclass
+class ObservedStatistics:
+    """Everything the monitor has learned during execution so far."""
+
+    #: observed selectivity per subexpression (keyed by relation set)
+    selectivities: dict[frozenset, float] = field(default_factory=dict)
+    #: per-source read/selection counters
+    sources: dict[str, SourceObservation] = field(default_factory=dict)
+    #: multiplicative-join blow-up factors keyed by predicate
+    multiplicative_factors: dict[frozenset, float] = field(default_factory=dict)
+
+    # -- update API (called by the execution monitor) --------------------------
+
+    def record_selectivity(self, relations: Iterable[str], selectivity: float) -> None:
+        self.selectivities[selectivity_key(relations)] = selectivity
+
+    def record_source(
+        self, relation: str, tuples_read: int, tuples_passed: int, exhausted: bool
+    ) -> None:
+        obs = self.sources.setdefault(relation, SourceObservation())
+        obs.tuples_read = max(obs.tuples_read, tuples_read)
+        obs.tuples_passed_selection = max(obs.tuples_passed_selection, tuples_passed)
+        obs.exhausted = obs.exhausted or exhausted
+
+    def flag_multiplicative(self, predicate: JoinPredicate, factor: float) -> None:
+        key = predicate_key(predicate)
+        existing = self.multiplicative_factors.get(key, 1.0)
+        self.multiplicative_factors[key] = max(existing, factor)
+
+    # -- query API --------------------------------------------------------------
+
+    def selectivity_of(self, relations: Iterable[str]) -> float | None:
+        return self.selectivities.get(selectivity_key(relations))
+
+    def source(self, relation: str) -> SourceObservation | None:
+        return self.sources.get(relation)
+
+    def multiplicative_factor(self, predicate: JoinPredicate) -> float:
+        return self.multiplicative_factors.get(predicate_key(predicate), 1.0)
+
+    def merge(self, other: "ObservedStatistics") -> None:
+        """Fold another observation set into this one (later phases win)."""
+        self.selectivities.update(other.selectivities)
+        for relation, obs in other.sources.items():
+            self.record_source(
+                relation, obs.tuples_read, obs.tuples_passed_selection, obs.exhausted
+            )
+        for key, factor in other.multiplicative_factors.items():
+            self.multiplicative_factors[key] = max(
+                self.multiplicative_factors.get(key, 1.0), factor
+            )
+
+
+class SelectivityEstimator:
+    """Cardinality / selectivity estimation combining catalog and runtime knowledge."""
+
+    #: default selectivity applied to single-relation selection predicates
+    DEFAULT_SELECTION_SELECTIVITY = 0.3
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: SPJAQuery,
+        observed: ObservedStatistics | None = None,
+        default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
+    ) -> None:
+        self.catalog = catalog
+        self.query = query
+        self.observed = observed or ObservedStatistics()
+        self.default_cardinality = default_cardinality
+        self._cache: dict[frozenset, float] = {}
+
+    # -- base relations ----------------------------------------------------------
+
+    def base_cardinality(self, relation: str) -> float:
+        """Estimated *full* cardinality of a source relation.
+
+        Preference order: exact count when the source has been exhausted;
+        published catalog statistics; the default assumption — never less
+        than what has already been read.
+        """
+        obs = self.observed.source(relation)
+        if obs is not None and obs.exhausted:
+            return max(obs.tuples_read, 1)
+        if relation in self.catalog:
+            stats = self.catalog.statistics(relation)
+            published = stats.cardinality
+        else:
+            published = None
+        estimate = float(published) if published is not None else float(self.default_cardinality)
+        if obs is not None:
+            estimate = max(estimate, obs.tuples_read)
+        return max(estimate, 1.0)
+
+    def selected_cardinality(self, relation: str) -> float:
+        """Cardinality of a base relation after its pushed-down selection."""
+        base = self.base_cardinality(relation)
+        predicate = self.query.selection_for(relation)
+        obs = self.observed.source(relation)
+        if obs is not None and obs.observed_selection_selectivity is not None:
+            return max(base * obs.observed_selection_selectivity, 1.0)
+        selectivity = self._selection_selectivity(relation, predicate)
+        if selectivity >= 1.0:
+            return base
+        return max(base * selectivity, 1.0)
+
+    def _selection_selectivity(self, relation: str, predicate: Predicate) -> float:
+        """Selectivity of a pushed-down selection.
+
+        Equality predicates use ``1 / distinct(attribute)`` when the catalog
+        publishes a distinct count (classic System-R); everything else falls
+        back to the predicate's own magic-constant estimate.
+        """
+        from repro.relational.expressions import Comparison, Conjunction, AttributeRef
+
+        if isinstance(predicate, Conjunction):
+            selectivity = 1.0
+            for child in predicate.children:
+                selectivity *= self._selection_selectivity(relation, child)
+            return selectivity
+        if (
+            isinstance(predicate, Comparison)
+            and predicate.op in ("=", "==")
+            and isinstance(predicate.left, AttributeRef)
+            and relation in self.catalog
+        ):
+            distinct = self.catalog.statistics(relation).distinct(predicate.left.name)
+            if distinct:
+                return 1.0 / max(distinct, 1)
+        return predicate.estimated_selectivity()
+
+    def distinct_values(self, relation: str, attribute: str) -> float:
+        """Estimated number of distinct values of ``relation.attribute``."""
+        if relation in self.catalog:
+            stats = self.catalog.statistics(relation)
+            known = stats.distinct(attribute)
+            if known is not None:
+                return float(max(known, 1))
+            if stats.is_key(attribute):
+                return self.base_cardinality(relation)
+        # Assume near-key behaviour: most join attributes in integration
+        # workloads are keys or foreign keys.
+        return self.base_cardinality(relation)
+
+    # -- join subexpressions ------------------------------------------------------
+
+    def estimate_cardinality(self, relations: frozenset) -> float:
+        """Estimated output cardinality of joining ``relations`` (selections applied)."""
+        relations = frozenset(relations)
+        if relations in self._cache:
+            return self._cache[relations]
+        if len(relations) == 1:
+            (relation,) = relations
+            value = self.selected_cardinality(relation)
+            self._cache[relations] = value
+            return value
+
+        observed = self.observed.selectivity_of(relations)
+        if observed is not None:
+            product = 1.0
+            for relation in relations:
+                product *= self.selected_cardinality(relation)
+            value = max(observed * product, 1.0)
+            self._cache[relations] = value
+            return value
+
+        system_r = self._system_r_estimate(relations)
+        fk_speculation = self._foreign_key_speculation(relations)
+        value = (system_r + fk_speculation) / 2.0
+        value *= self._multiplicative_penalty(relations)
+        value = max(value, 1.0)
+        self._cache[relations] = value
+        return value
+
+    def _internal_predicates(self, relations: frozenset) -> list[JoinPredicate]:
+        return [
+            pred
+            for pred in self.query.join_predicates
+            if pred.left_relation in relations and pred.right_relation in relations
+        ]
+
+    def _system_r_estimate(self, relations: frozenset) -> float:
+        """Product of input cardinalities scaled by 1/max(distinct) per predicate."""
+        value = 1.0
+        for relation in relations:
+            value *= self.selected_cardinality(relation)
+        for pred in self._internal_predicates(relations):
+            left_distinct = self.distinct_values(pred.left_relation, pred.left_attr)
+            right_distinct = self.distinct_values(pred.right_relation, pred.right_attr)
+            value /= max(left_distinct, right_distinct, 1.0)
+        return max(value, 1.0)
+
+    def _foreign_key_speculation(self, relations: frozenset) -> float:
+        """Speculate every join is key/foreign-key: result matches the largest input."""
+        return max(self.selected_cardinality(r) for r in relations)
+
+    def _multiplicative_penalty(self, relations: frozenset) -> float:
+        """Blow-up factor from predicates previously flagged as multiplicative."""
+        penalty = 1.0
+        for pred in self._internal_predicates(relations):
+            penalty *= self.observed.multiplicative_factor(pred)
+        return penalty
+
+    def selectivity(self, relations: frozenset) -> float:
+        """Selectivity (output / product of inputs) of a subexpression estimate."""
+        product = 1.0
+        for relation in relations:
+            product *= self.selected_cardinality(relation)
+        if product <= 0:
+            return 1.0
+        return self.estimate_cardinality(relations) / product
+
+    def invalidate_cache(self) -> None:
+        self._cache.clear()
+
+
+def fraction_consumed(
+    observed: ObservedStatistics, catalog: Catalog, relations: Iterable[str]
+) -> Mapping[str, float]:
+    """Fraction of each source already consumed (0 when nothing is known)."""
+    result: dict[str, float] = {}
+    for relation in relations:
+        obs = observed.source(relation)
+        if obs is None:
+            result[relation] = 0.0
+            continue
+        if obs.exhausted:
+            result[relation] = 1.0
+            continue
+        if relation in catalog and catalog.statistics(relation).cardinality:
+            total = catalog.statistics(relation).cardinality
+            result[relation] = min(obs.tuples_read / max(total, 1), 1.0)
+        else:
+            result[relation] = 0.0
+    return result

@@ -1,0 +1,85 @@
+"""Tuple utilities and tuple adapters.
+
+Tuples flowing through the engine are plain Python ``tuple`` objects.  The
+paper's Tukwila engine represents tuples as vectors of pointers into value
+containers so that state structures filled by one plan can be read by another
+plan whose physical attribute ordering differs; the equivalent mechanism here
+is the :class:`TupleAdapter`, which permutes (and optionally pads) values
+when reading from a state structure whose schema ordering does not match the
+consumer's expectation (paper Section 3.2, "State Structure Compatibility").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.relational.schema import Schema, SchemaError
+
+
+def concat_tuples(left: tuple, right: tuple) -> tuple:
+    """Concatenate two value tuples (the physical form of a join output)."""
+    return left + right
+
+
+@dataclass(frozen=True)
+class TupleAdapter:
+    """Permutes tuple values from a source schema layout to a target layout.
+
+    The adapter is built once (resolving names to positions) and then applied
+    to every tuple with a cheap positional gather.  Attributes present in the
+    target schema but missing from the source are filled with ``fill_value``
+    — this supports mapping non-pre-aggregated tuples into pre-aggregated
+    schemas via the *pseudogroup* mechanism.
+    """
+
+    source: Schema
+    target: Schema
+    fill_value: object = None
+
+    def __post_init__(self) -> None:
+        mapping: list[int] = []
+        missing: list[int] = []
+        for pos, attr in enumerate(self.target.attributes):
+            if attr.name in self.source:
+                mapping.append(self.source.position(attr.name))
+            else:
+                mapping.append(-1)
+                missing.append(pos)
+        object.__setattr__(self, "_mapping", tuple(mapping))
+        object.__setattr__(self, "_missing", tuple(missing))
+
+    @property
+    def is_identity(self) -> bool:
+        """True when source and target layouts already coincide."""
+        return self._mapping == tuple(range(len(self.target)))  # type: ignore[attr-defined]
+
+    @property
+    def has_missing(self) -> bool:
+        """True when some target attributes are absent from the source."""
+        return bool(self._missing)  # type: ignore[attr-defined]
+
+    def adapt(self, values: tuple) -> tuple:
+        """Return ``values`` rearranged into the target schema's order."""
+        mapping = self._mapping  # type: ignore[attr-defined]
+        fill = self.fill_value
+        return tuple(values[i] if i >= 0 else fill for i in mapping)
+
+    def adapt_many(self, rows: Sequence[tuple]) -> list[tuple]:
+        """Adapt a batch of tuples."""
+        if self.is_identity:
+            return list(rows)
+        return [self.adapt(row) for row in rows]
+
+
+def validate_tuple(schema: Schema, values: tuple) -> None:
+    """Raise :class:`SchemaError` when ``values`` does not match ``schema``.
+
+    Only used on cold paths (loading relations, test assertions); the hot
+    execution path trusts operator contracts.
+    """
+    if len(values) != len(schema):
+        raise SchemaError(
+            f"tuple arity {len(values)} does not match schema arity {len(schema)} "
+            f"({schema.names})"
+        )

@@ -1,0 +1,34 @@
+"""Data source substrate: autonomous, remote, sequential-access sources.
+
+Data integration sources are autonomous: the engine may only read them
+sequentially, knows little about their statistics, and observes whatever
+network behaviour the connection exhibits.  This package models that world:
+
+* :class:`LocalSource` — data already on the server (arrival time 0).
+* :class:`RemoteSource` — a relation streamed through a network model.
+* network models — constant-bandwidth and bursty ("wireless") links, which
+  produce deterministic per-tuple arrival times for the Figure 3 experiment.
+* :class:`SourceDescription` — the cursory metadata a source publishes.
+"""
+
+from repro.sources.source import DataSource, LocalSource
+from repro.sources.network import (
+    BurstyNetworkModel,
+    ConstantRateNetworkModel,
+    InstantNetworkModel,
+    NetworkModel,
+)
+from repro.sources.remote import RemoteSource
+from repro.sources.description import MappedSource, SourceDescription
+
+__all__ = [
+    "DataSource",
+    "LocalSource",
+    "NetworkModel",
+    "InstantNetworkModel",
+    "ConstantRateNetworkModel",
+    "BurstyNetworkModel",
+    "RemoteSource",
+    "MappedSource",
+    "SourceDescription",
+]

@@ -1,0 +1,118 @@
+"""Source descriptions: the cursory metadata a data integration source publishes.
+
+"The data integration source descriptions for each data source are typically
+quite cursory: often, they merely describe the semantic relationship between
+relations in a data source and the relations in the globally integrated view
+of the data" (Section 1).  A :class:`SourceDescription` therefore carries the
+mapping from source attributes to global-schema attributes plus whatever
+optional promises the provider is willing to make (cardinality, ordering) —
+all of which may be absent or stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.relational.catalog import TableStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.sources.source import DataSource
+
+
+class MappingError(ValueError):
+    """Raised when a source description does not line up with its schemas."""
+
+
+@dataclass(frozen=True)
+class SourceDescription:
+    """Semantic mapping from a source relation to the global (mediated) schema.
+
+    Parameters
+    ----------
+    source_name:
+        The source relation's name.
+    global_relation:
+        Name of the relation in the mediated schema this source provides.
+    attribute_mapping:
+        Mapping from source attribute name to global attribute name.  Source
+        attributes not mentioned are dropped; global attributes not covered
+        are unavailable from this source.
+    promised_statistics:
+        Statistics the provider volunteers.  They are *promises*, not
+        guarantees — the adaptive machinery exists precisely because they may
+        be wrong or missing.
+    """
+
+    source_name: str
+    global_relation: str
+    attribute_mapping: dict[str, str] = field(default_factory=dict)
+    promised_statistics: TableStatistics = field(default_factory=TableStatistics)
+
+    def translate_schema(self, source_schema: Schema) -> Schema:
+        """Schema of this source's data expressed in global attribute names."""
+        attrs = []
+        for attr in source_schema.attributes:
+            if self.attribute_mapping and attr.name not in self.attribute_mapping:
+                continue
+            global_name = self.attribute_mapping.get(attr.name, attr.name)
+            attrs.append(Attribute(global_name, attr.type_name, self.global_relation))
+        if not attrs:
+            raise MappingError(
+                f"source {self.source_name!r} maps no attributes of {source_schema.names}"
+            )
+        return Schema(tuple(attrs))
+
+    def translate_row(self, source_schema: Schema, row: tuple) -> tuple:
+        """Project/reorder one source row into the global attribute layout."""
+        values = []
+        for attr in source_schema.attributes:
+            if self.attribute_mapping and attr.name not in self.attribute_mapping:
+                continue
+            values.append(row[source_schema.position(attr.name)])
+        return tuple(values)
+
+    def covers(self, global_attributes) -> bool:
+        """True when this source provides all of ``global_attributes``."""
+        provided = set(self.attribute_mapping.values()) if self.attribute_mapping else None
+        if provided is None:
+            return True
+        return set(global_attributes) <= provided
+
+
+class MappedSource(DataSource):
+    """A source viewed through its description: rows arrive in the global schema.
+
+    Wraps either an in-memory :class:`Relation` or any streaming source and
+    applies the description's attribute mapping (projection + renaming) to
+    every tuple, so the query processor only ever sees the mediated schema.
+    """
+
+    def __init__(self, source, description: SourceDescription) -> None:
+        source_schema = source.schema
+        super().__init__(
+            description.global_relation, description.translate_schema(source_schema)
+        )
+        self.wrapped = source
+        self.description = description
+        self._source_schema = source_schema
+
+    def open_stream(self) -> Iterator[tuple[tuple, float]]:
+        description = self.description
+        source_schema = self._source_schema
+        if isinstance(self.wrapped, Relation):
+            for row in self.wrapped.rows:
+                yield description.translate_row(source_schema, row), 0.0
+        else:
+            for row, arrival in self.wrapped.open_stream():
+                yield description.translate_row(source_schema, row), arrival
+
+    def to_relation(self) -> Relation:
+        """Materialize the translated contents (only for in-memory sources)."""
+        if not isinstance(self.wrapped, Relation):
+            raise TypeError("only relation-backed sources can be materialized eagerly")
+        rows = [
+            self.description.translate_row(self._source_schema, row)
+            for row in self.wrapped.rows
+        ]
+        return Relation(self.name, self.schema, rows)

@@ -1,0 +1,41 @@
+"""Remote sources: relations streamed through a network model."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.relational.relation import Relation
+from repro.sources.network import InstantNetworkModel, NetworkModel
+from repro.sources.source import DataSource
+
+
+class RemoteSource(DataSource):
+    """A relation delivered over a (possibly slow, bursty) network connection.
+
+    Each :meth:`open_stream` call simulates a fresh connection: arrival times
+    are regenerated from the network model, so repeated accesses see the same
+    deterministic burst pattern (important for reproducible benchmarks) while
+    still modelling that the transfer has to happen again.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        network: NetworkModel | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or relation.name, relation.schema)
+        self.relation = relation
+        self.network = network or InstantNetworkModel()
+
+    def open_stream(self) -> Iterator[tuple[tuple, float]]:
+        arrivals = self.network.arrival_times(len(self.relation))
+        for row, arrival in zip(self.relation.rows, arrivals):
+            yield row, arrival
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def with_network(self, network: NetworkModel) -> "RemoteSource":
+        """Return a copy of this source behind a different network model."""
+        return RemoteSource(self.relation, network, self.name)

@@ -1,0 +1,48 @@
+"""Source abstractions."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class DataSource:
+    """Base class for data sources.
+
+    A source exposes only a schema and a sequential stream of
+    ``(row, arrival_time)`` pairs — mirroring the data-integration access
+    model: "we limit access to the input relations to be sequential only, and
+    assume that they may change between successive accesses" (Section 3.5).
+    Each call to :meth:`open_stream` represents a fresh access.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+
+    def open_stream(self) -> Iterator[tuple[tuple, float]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class LocalSource(DataSource):
+    """A source whose data is already available on the query processor.
+
+    Arrival times are all zero: the only cost of reading it is the engine's
+    own per-tuple work.  Used for the "local data" experiments (Figure 2).
+    """
+
+    def __init__(self, relation: Relation) -> None:
+        super().__init__(relation.name, relation.schema)
+        self.relation = relation
+
+    def open_stream(self) -> Iterator[tuple[tuple, float]]:
+        for row in self.relation.rows:
+            yield row, 0.0
+
+    def __len__(self) -> int:
+        return len(self.relation)

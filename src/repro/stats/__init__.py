@@ -1,0 +1,24 @@
+"""Runtime statistics collection: histograms, order detection, distinct counts, skew.
+
+These are the incremental summarization tools evaluated in Section 4.5 of the
+paper: dynamic compressed histograms and order detectors, which — combined —
+let the system predict intermediate result sizes after seeing only part of a
+stream.  The Zipf sampler reproduces the skewed TPC-D data generation the
+paper's experiments rely on.
+"""
+
+from repro.stats.histogram import DynamicCompressedHistogram, HistogramBucket
+from repro.stats.order_detector import OrderDetector, OrderState
+from repro.stats.distinct import DistinctCounter, UniquenessDetector
+from repro.stats.zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "DynamicCompressedHistogram",
+    "HistogramBucket",
+    "OrderDetector",
+    "OrderState",
+    "DistinctCounter",
+    "UniquenessDetector",
+    "ZipfSampler",
+    "zipf_weights",
+]

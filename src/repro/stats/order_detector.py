@@ -1,0 +1,109 @@
+"""Order detection over streaming attribute values.
+
+Section 4.5 combines incremental histograms with an *order detector*: when a
+stream turns out to be sorted on the join attribute, intermediate result
+sizes can be predicted from how far the key ranges have advanced, even when
+histograms alone would need the data in random order.  Section 5's
+complementary join uses the same primitive per-tuple: "does this tuple
+conform to the ordering of its predecessors?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OrderState(str, Enum):
+    """Classification of a stream's ordering as observed so far."""
+
+    UNKNOWN = "unknown"
+    ASCENDING = "ascending"
+    DESCENDING = "descending"
+    UNORDERED = "unordered"
+
+
+@dataclass
+class OrderDetector:
+    """Tracks whether a stream of values is (mostly) sorted.
+
+    ``tolerance`` is the fraction of out-of-order arrivals allowed before the
+    stream is declared :attr:`OrderState.UNORDERED`; a tolerance of 0 means
+    strictly sorted.  The detector also reports the fraction of in-order
+    arrivals, which the complementary-join router uses to decide whether
+    speculating on order is still worthwhile.
+    """
+
+    tolerance: float = 0.0
+    observed: int = 0
+    ascending_violations: int = 0
+    descending_violations: int = 0
+    last_value: object = None
+    min_value: object = None
+    max_value: object = None
+
+    def add(self, value: object) -> None:
+        """Observe the next value of the stream."""
+        if self.observed == 0:
+            self.min_value = value
+            self.max_value = value
+        else:
+            if value < self.last_value:
+                self.ascending_violations += 1
+            if value > self.last_value:
+                self.descending_violations += 1
+            if value < self.min_value:
+                self.min_value = value
+            if value > self.max_value:
+                self.max_value = value
+        self.last_value = value
+        self.observed += 1
+
+    def add_many(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    # -- classification ------------------------------------------------------------
+
+    @property
+    def ascending_fraction(self) -> float:
+        """Fraction of arrivals that did not violate ascending order."""
+        if self.observed <= 1:
+            return 1.0
+        return 1.0 - self.ascending_violations / (self.observed - 1)
+
+    @property
+    def descending_fraction(self) -> float:
+        if self.observed <= 1:
+            return 1.0
+        return 1.0 - self.descending_violations / (self.observed - 1)
+
+    def state(self) -> OrderState:
+        if self.observed <= 1:
+            return OrderState.UNKNOWN
+        comparisons = self.observed - 1
+        if self.ascending_violations <= self.tolerance * comparisons:
+            return OrderState.ASCENDING
+        if self.descending_violations <= self.tolerance * comparisons:
+            return OrderState.DESCENDING
+        return OrderState.UNORDERED
+
+    def is_sorted(self) -> bool:
+        return self.state() in (OrderState.ASCENDING, OrderState.DESCENDING)
+
+    # -- estimation -----------------------------------------------------------------
+
+    def progress_fraction(self, domain_low: float, domain_high: float) -> float | None:
+        """How far through ``[domain_low, domain_high]`` a sorted stream has advanced.
+
+        Only meaningful when the stream is (near-)sorted ascending: the
+        fraction of the key domain covered so far is then an estimate of the
+        fraction of the relation that has been read — the quantity the
+        Section 4.5 predictor exploits for sorted inputs.
+        """
+        if self.state() is not OrderState.ASCENDING or self.observed == 0:
+            return None
+        span = domain_high - domain_low
+        if span <= 0:
+            return None
+        return min(max((self.last_value - domain_low) / span, 0.0), 1.0)

@@ -1,0 +1,108 @@
+"""TPC-H-style schemas for the relations the evaluation queries touch.
+
+Attribute names follow TPC-H conventions (``c_``, ``o_``, ``l_`` prefixes),
+which conveniently makes every attribute name globally unique — joins and
+group-by lists can therefore use bare names.  Dates are encoded as integer
+day offsets from a fixed origin, so range predicates are plain integer
+comparisons.
+
+``l_revenue`` is materialized by the generator as
+``l_extendedprice * (1 - l_discount)`` so the aggregation queries can sum a
+single attribute (the engine aggregates attributes, not arithmetic
+expressions; this precomputation does not change any experimental shape).
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Schema
+
+#: Integer day offsets covered by generated order dates: 1992-01-01 .. 1998-08-02
+#: in the original benchmark, here simply days 0 .. DATE_RANGE_DAYS.
+DATE_RANGE_DAYS = 2400
+
+REGION_SCHEMA = Schema.from_names(
+    ["r_regionkey", "r_name"],
+    relation="region",
+    types=["int", "str"],
+)
+
+NATION_SCHEMA = Schema.from_names(
+    ["n_nationkey", "n_name", "n_regionkey"],
+    relation="nation",
+    types=["int", "str", "int"],
+)
+
+SUPPLIER_SCHEMA = Schema.from_names(
+    ["s_suppkey", "s_name", "s_nationkey", "s_acctbal"],
+    relation="supplier",
+    types=["int", "str", "int", "float"],
+)
+
+CUSTOMER_SCHEMA = Schema.from_names(
+    ["c_custkey", "c_name", "c_nationkey", "c_mktsegment", "c_acctbal", "c_phone"],
+    relation="customer",
+    types=["int", "str", "int", "str", "float", "str"],
+)
+
+ORDERS_SCHEMA = Schema.from_names(
+    [
+        "o_orderkey",
+        "o_custkey",
+        "o_orderstatus",
+        "o_totalprice",
+        "o_orderdate",
+        "o_shippriority",
+    ],
+    relation="orders",
+    types=["int", "int", "str", "float", "date", "int"],
+)
+
+LINEITEM_SCHEMA = Schema.from_names(
+    [
+        "l_orderkey",
+        "l_linenumber",
+        "l_suppkey",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_revenue",
+        "l_returnflag",
+        "l_shipdate",
+    ],
+    relation="lineitem",
+    types=["int", "int", "int", "int", "float", "float", "float", "str", "date"],
+)
+
+#: All schemas keyed by relation name.
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": REGION_SCHEMA,
+    "nation": NATION_SCHEMA,
+    "supplier": SUPPLIER_SCHEMA,
+    "customer": CUSTOMER_SCHEMA,
+    "orders": ORDERS_SCHEMA,
+    "lineitem": LINEITEM_SCHEMA,
+}
+
+#: Primary-key attribute of each relation.  Lineitem's key is composite
+#: (l_orderkey, l_linenumber), so it advertises no single-attribute key.
+PRIMARY_KEYS: dict[str, str | None] = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "orders": "o_orderkey",
+    "lineitem": None,
+}
+
+#: Attribute each relation is physically clustered (sorted) on, when any.
+#: Orders and lineitems are bulk-loaded in key order — the property the
+#: complementary-join experiments exploit.
+SORT_ORDERS: dict[str, str] = {
+    "orders": "o_orderkey",
+    "lineitem": "l_orderkey",
+}
+
+#: Market segments and return flags used by the generator and query predicates.
+MARKET_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+RETURN_FLAGS = ("R", "A", "N")
+REGION_NAMES = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.generator import TPCHGenerator
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch():
+    """A very small uniform TPC-H instance (fast enough for most tests)."""
+    return TPCHGenerator(scale_factor=0.0004, zipf_z=0.0, seed=11).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch_skewed():
+    """A very small Zipf-skewed TPC-H instance."""
+    return TPCHGenerator(scale_factor=0.0004, zipf_z=0.5, seed=11).generate()
+
+
+@pytest.fixture(scope="session")
+def small_tpch():
+    """A slightly larger instance for the adaptive end-to-end tests."""
+    return TPCHGenerator(scale_factor=0.001, zipf_z=0.0, seed=7).generate()
+
+
+@pytest.fixture
+def people_schema():
+    return Schema.from_names(["pid", "name", "age", "city"], relation="people")
+
+
+@pytest.fixture
+def people(people_schema):
+    rows = [
+        (1, "ada", 36, "london"),
+        (2, "grace", 45, "new york"),
+        (3, "alan", 41, "london"),
+        (4, "edsger", 72, "austin"),
+        (5, "barbara", 68, "boston"),
+    ]
+    return Relation("people", people_schema, rows)
+
+
+@pytest.fixture
+def orders_schema():
+    # Attribute names are globally unique (o_pid references people.pid) --
+    # the same convention TPC-H uses, which the engine's concatenated join
+    # schemas rely on.
+    return Schema.from_names(["oid", "o_pid", "amount"], relation="simple_orders")
+
+
+@pytest.fixture
+def simple_orders(orders_schema):
+    rows = [
+        (100, 1, 10.0),
+        (101, 1, 20.0),
+        (102, 2, 5.0),
+        (103, 3, 7.5),
+        (104, 3, 2.5),
+        (105, 3, 30.0),
+        (106, 9, 99.0),  # dangling foreign key: no matching person
+    ]
+    return Relation("simple_orders", orders_schema, rows)

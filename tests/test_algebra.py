@@ -1,0 +1,128 @@
+"""Tests for the logical algebra and SPJA query description."""
+
+import pytest
+
+from repro.relational.algebra import (
+    AggregateSpec,
+    BaseRelation,
+    GroupBy,
+    Join,
+    Project,
+    QueryError,
+    Select,
+    SPJAQuery,
+    spj_query,
+)
+from repro.relational.expressions import (
+    Aggregate,
+    AttributeRef,
+    Comparison,
+    Constant,
+    JoinPredicate,
+    TruePredicate,
+)
+
+
+def two_table_query():
+    return SPJAQuery(
+        name="q",
+        relations=("a", "b"),
+        join_predicates=(JoinPredicate("a", "x", "b", "y"),),
+        selections={"a": Comparison(AttributeRef("x"), ">", Constant(0))},
+    )
+
+
+class TestLogicalPlanNodes:
+    def test_relations_of_tree(self):
+        plan = Join(
+            Select(BaseRelation("a"), TruePredicate()),
+            Project(BaseRelation("b"), ("y",)),
+            (JoinPredicate("a", "x", "b", "y"),),
+        )
+        assert plan.relations() == frozenset({"a", "b"})
+
+    def test_walk_visits_all_nodes(self):
+        plan = GroupBy(
+            Join(BaseRelation("a"), BaseRelation("b"), ()),
+            ("x",),
+            (Aggregate("count", None, "n"),),
+        )
+        kinds = [type(node).__name__ for node in plan.walk()]
+        assert kinds == ["GroupBy", "Join", "BaseRelation", "BaseRelation"]
+
+    def test_base_relation_children_empty(self):
+        assert BaseRelation("a").children() == ()
+
+
+class TestAggregateSpec:
+    def test_output_attributes(self):
+        spec = AggregateSpec(("g",), (Aggregate("sum", "v", "total"),))
+        assert spec.output_attributes == ("g", "total")
+
+    def test_referenced_attributes(self):
+        spec = AggregateSpec(("g",), (Aggregate("sum", "v", "total"),))
+        assert spec.referenced_attributes() == {"g", "v"}
+
+
+class TestSPJAQueryValidation:
+    def test_valid_query(self):
+        query = two_table_query()
+        assert query.num_joins == 1
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(QueryError):
+            SPJAQuery("q", ("a", "a"), ())
+
+    def test_join_predicate_unknown_relation(self):
+        with pytest.raises(QueryError):
+            SPJAQuery("q", ("a", "b"), (JoinPredicate("a", "x", "c", "y"),))
+
+    def test_selection_unknown_relation(self):
+        with pytest.raises(QueryError):
+            SPJAQuery(
+                "q",
+                ("a",),
+                (),
+                selections={"zzz": TruePredicate()},
+            )
+
+    def test_disconnected_join_graph_rejected(self):
+        with pytest.raises(QueryError):
+            SPJAQuery("q", ("a", "b", "c"), (JoinPredicate("a", "x", "b", "y"),))
+
+    def test_single_relation_query_allowed(self):
+        query = SPJAQuery("q", ("a",), ())
+        assert query.num_joins == 0
+
+
+class TestSPJAQueryHelpers:
+    def test_selection_for_defaults_to_true(self):
+        query = two_table_query()
+        assert isinstance(query.selection_for("b"), TruePredicate)
+        assert not isinstance(query.selection_for("a"), TruePredicate)
+
+    def test_predicates_between(self):
+        query = two_table_query()
+        preds = query.predicates_between(frozenset(["a"]), frozenset(["b"]))
+        assert len(preds) == 1
+        assert query.predicates_between(frozenset(["a"]), frozenset(["a"])) == ()
+
+    def test_join_attributes(self):
+        query = two_table_query()
+        assert query.join_attributes("a") == ("x",)
+        assert query.join_attributes("b") == ("y",)
+
+    def test_describe_mentions_pieces(self):
+        query = SPJAQuery(
+            name="q",
+            relations=("a", "b"),
+            join_predicates=(JoinPredicate("a", "x", "b", "y"),),
+            aggregation=AggregateSpec(("x",), (Aggregate("sum", "y", "s"),)),
+        )
+        text = query.describe()
+        assert "a" in text and "group by" in text and "sum" in text
+
+    def test_spj_query_helper(self):
+        query = spj_query("q", ["a", "b"], [JoinPredicate("a", "x", "b", "y")])
+        assert query.aggregation is None
+        assert query.relations == ("a", "b")

@@ -1,0 +1,97 @@
+"""Tests for the catalog and table statistics."""
+
+import pytest
+
+from repro.relational.catalog import (
+    Catalog,
+    CatalogError,
+    DEFAULT_ASSUMED_CARDINALITY,
+    TableStatistics,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+SCHEMA = Schema.from_names(["k", "v"], relation="t")
+
+
+def make_relation(n=5):
+    return Relation("t", SCHEMA, [(i, i * 10) for i in range(n)])
+
+
+class TestTableStatistics:
+    def test_defaults_unknown(self):
+        stats = TableStatistics()
+        assert stats.cardinality is None
+        assert stats.distinct("k") is None
+        assert not stats.is_sorted_on("k")
+        assert not stats.is_key("k")
+
+    def test_with_cardinality(self):
+        stats = TableStatistics().with_cardinality(10)
+        assert stats.cardinality == 10
+
+    def test_key_and_sort_flags(self):
+        stats = TableStatistics(sorted_on=("k",), key_attributes=("k",))
+        assert stats.is_sorted_on("k") and stats.is_key("k")
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register("t", SCHEMA)
+        assert "t" in catalog
+        assert catalog.schema("t").names == ("k", "v")
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().entry("missing")
+
+    def test_relation_without_data_raises(self):
+        catalog = Catalog()
+        catalog.register("t", SCHEMA)
+        with pytest.raises(CatalogError):
+            catalog.relation("t")
+
+    def test_register_relation_attaches_data(self):
+        catalog = Catalog()
+        catalog.register_relation(make_relation())
+        assert catalog.relation("t").cardinality == 5
+
+    def test_register_relations_bulk(self):
+        catalog = Catalog()
+        other = Relation("u", Schema.from_names(["a"], relation="u"), [(1,)])
+        catalog.register_relations([make_relation(), other])
+        assert set(catalog.names()) == {"t", "u"}
+
+    def test_assumed_cardinality_default(self):
+        catalog = Catalog()
+        catalog.register("t", SCHEMA)
+        assert catalog.assumed_cardinality("t") == DEFAULT_ASSUMED_CARDINALITY
+        assert catalog.assumed_cardinality("t", default=7) == 7
+
+    def test_assumed_cardinality_published(self):
+        catalog = Catalog()
+        catalog.register("t", SCHEMA, TableStatistics(cardinality=123))
+        assert catalog.assumed_cardinality("t") == 123
+
+    def test_with_cardinalities_copy(self):
+        catalog = Catalog()
+        catalog.register_relation(make_relation(8))
+        enriched = catalog.with_cardinalities()
+        assert enriched.statistics("t").cardinality == 8
+        # original untouched
+        assert catalog.statistics("t").cardinality is None
+
+    def test_without_statistics_copy(self):
+        catalog = Catalog()
+        catalog.register_relation(make_relation(8), TableStatistics(cardinality=8))
+        stripped = catalog.without_statistics()
+        assert stripped.statistics("t").cardinality is None
+        assert catalog.statistics("t").cardinality == 8
+
+    def test_set_statistics(self):
+        catalog = Catalog()
+        catalog.register("t", SCHEMA)
+        catalog.set_statistics("t", TableStatistics(cardinality=3))
+        assert catalog.statistics("t").cardinality == 3

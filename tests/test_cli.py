@@ -1,0 +1,39 @@
+"""Tests for the experiment command-line runner."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["fig5", "--scale", "0.001", "--seed", "3"])
+        assert args.experiment == "fig5"
+        assert args.scale == 0.001
+        assert args.seed == 3
+
+    def test_unknown_experiment_rejected(self):
+        parser = cli.build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_experiment_registry_complete(self):
+        assert set(cli.EXPERIMENTS) == {"fig2", "fig3", "fig5", "fig6", "sec4.5", "ablations"}
+
+
+class TestMain:
+    def test_run_single_experiment(self, capsys):
+        exit_code = cli.main(["sec4.5", "--scale", "0.0006"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Section 4.5" in output
+        assert "fraction_seen" in output
+        assert "overhead" in output
+
+    def test_run_fig6_small(self, capsys):
+        exit_code = cli.main(["fig6", "--scale", "0.0005"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 6" in output
+        assert "adjustable_window" in output

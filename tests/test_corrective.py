@@ -1,0 +1,170 @@
+"""Tests for corrective query processing (the paper's Section 4)."""
+
+import pytest
+
+from helpers import assert_same_aggregates, assert_same_bag, reference_spja
+from repro.baselines.static_executor import StaticExecutor
+from repro.core.corrective import CorrectiveQueryProcessor
+from repro.optimizer.plans import JoinTree
+from repro.relational.algebra import SPJAQuery
+from repro.relational.expressions import JoinPredicate
+from repro.sources.network import BurstyNetworkModel
+from repro.sources.remote import RemoteSource
+from repro.workloads.queries import query_3a, query_5, query_10a
+
+
+def bad_tree(query):
+    """A deliberately poor left-deep order: biggest relations joined first."""
+    order = ["lineitem", "orders", "customer", "supplier", "nation", "region"]
+    return JoinTree.left_deep([r for r in order if r in query.relations])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query_factory", [query_3a, query_10a, query_5])
+    def test_matches_static_reference(self, small_tpch, query_factory):
+        query = query_factory()
+        sources = small_tpch.as_sources()
+        reference = StaticExecutor(
+            small_tpch.catalog(with_cardinalities=True), sources
+        ).execute(query)
+        processor = CorrectiveQueryProcessor(
+            small_tpch.catalog(with_cardinalities=False),
+            sources,
+            polling_interval_seconds=0.1,
+            switch_threshold=0.95,
+        )
+        report = processor.execute(query)
+        assert_same_aggregates(report.rows, reference.rows)
+
+    @pytest.mark.parametrize("query_factory", [query_3a, query_10a])
+    def test_recovers_from_forced_bad_plan(self, small_tpch, query_factory):
+        query = query_factory()
+        sources = small_tpch.as_sources()
+        reference = StaticExecutor(
+            small_tpch.catalog(with_cardinalities=True), sources
+        ).execute(query)
+        processor = CorrectiveQueryProcessor(
+            small_tpch.catalog(with_cardinalities=False),
+            sources,
+            polling_interval_seconds=0.1,
+        )
+        report = processor.execute(query, initial_tree=bad_tree(query))
+        assert_same_aggregates(report.rows, reference.rows)
+        assert report.num_phases >= 2  # it must actually have switched
+
+    def test_spj_query_without_aggregation(self, tiny_tpch):
+        query = SPJAQuery(
+            name="spj",
+            relations=("customer", "orders"),
+            join_predicates=(
+                JoinPredicate("customer", "c_custkey", "orders", "o_custkey"),
+            ),
+        )
+        sources = tiny_tpch.as_sources()
+        processor = CorrectiveQueryProcessor(
+            tiny_tpch.catalog(), sources, polling_interval_seconds=0.05
+        )
+        report = processor.execute(query)
+        assert_same_bag(report.rows, reference_spja(query, sources))
+        assert report.schema is not None
+
+    def test_skewed_data(self, tiny_tpch_skewed):
+        query = query_10a()
+        sources = tiny_tpch_skewed.as_sources()
+        reference = StaticExecutor(
+            tiny_tpch_skewed.catalog(with_cardinalities=True), sources
+        ).execute(query)
+        processor = CorrectiveQueryProcessor(
+            tiny_tpch_skewed.catalog(), sources, polling_interval_seconds=0.1
+        )
+        report = processor.execute(query, initial_tree=bad_tree(query))
+        assert_same_aggregates(report.rows, reference.rows)
+
+    def test_remote_bursty_sources(self, tiny_tpch):
+        query = query_3a()
+        local = tiny_tpch.as_sources()
+        remote = {
+            name: RemoteSource(
+                rel,
+                BurstyNetworkModel(
+                    burst_rate=50_000, mean_burst_tuples=400, mean_gap_seconds=0.02, seed=i
+                ),
+            )
+            for i, (name, rel) in enumerate(local.items())
+        }
+        reference = StaticExecutor(
+            tiny_tpch.catalog(with_cardinalities=True), local
+        ).execute(query)
+        processor = CorrectiveQueryProcessor(
+            tiny_tpch.catalog(), remote, polling_interval_seconds=0.2
+        )
+        report = processor.execute(query)
+        assert_same_aggregates(report.rows, reference.rows)
+        assert report.wait_seconds > 0
+
+
+class TestAdaptationBehaviour:
+    def test_switches_away_from_bad_plan_and_improves(self, small_tpch):
+        query = query_3a()
+        sources = small_tpch.as_sources()
+        catalog = small_tpch.catalog(with_cardinalities=False)
+        static_bad = StaticExecutor(catalog, sources).execute(
+            query, join_tree=bad_tree(query)
+        )
+        adaptive = CorrectiveQueryProcessor(
+            catalog, sources, polling_interval_seconds=0.1
+        ).execute(query, initial_tree=bad_tree(query))
+        assert adaptive.num_phases >= 2
+        assert adaptive.simulated_seconds < static_bad.simulated_seconds
+        # The first phase must have ended on a re-optimizer switch.
+        assert adaptive.phases[0].switch_reason
+
+    def test_does_not_switch_away_from_good_plan(self, small_tpch):
+        query = query_3a()
+        sources = small_tpch.as_sources()
+        catalog = small_tpch.catalog(with_cardinalities=True)
+        good_tree = StaticExecutor(catalog, sources).execute(query).join_tree
+        report = CorrectiveQueryProcessor(
+            catalog, sources, polling_interval_seconds=0.1
+        ).execute(query, initial_tree=good_tree)
+        assert report.num_phases == 1
+        assert report.stitchup is None
+        assert report.stitchup_seconds == 0.0
+
+    def test_max_phases_bounds_switching(self, small_tpch):
+        query = query_10a()
+        sources = small_tpch.as_sources()
+        report = CorrectiveQueryProcessor(
+            small_tpch.catalog(),
+            sources,
+            polling_interval_seconds=0.02,
+            switch_threshold=0.999,
+            max_phases=2,
+        ).execute(query, initial_tree=bad_tree(query))
+        assert report.num_phases <= 2
+
+    def test_report_summary_fields(self, small_tpch):
+        query = query_3a()
+        sources = small_tpch.as_sources()
+        report = CorrectiveQueryProcessor(
+            small_tpch.catalog(), sources, polling_interval_seconds=0.1
+        ).execute(query, initial_tree=bad_tree(query))
+        summary = report.summary()
+        assert summary["query"] == "Q3A"
+        assert summary["phases"] == report.num_phases
+        assert summary["answers"] == len(report.rows)
+        assert report.reoptimizer_polls >= 1
+        assert report.work() > 0
+        if report.num_phases > 1:
+            assert report.reused_tuples > 0
+
+    def test_stitchup_reuses_most_prior_tuples(self, small_tpch):
+        """Few registered tuples should be left unused (paper Tables 1-2)."""
+        query = query_10a()
+        sources = small_tpch.as_sources()
+        report = CorrectiveQueryProcessor(
+            small_tpch.catalog(), sources, polling_interval_seconds=0.1
+        ).execute(query, initial_tree=bad_tree(query))
+        if report.num_phases > 1:
+            total = report.reused_tuples + report.discarded_tuples
+            assert report.reused_tuples > 0.5 * total

@@ -1,0 +1,87 @@
+"""Tests for work-unit accounting and the simulated clock."""
+
+import pytest
+
+from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock, WorkProfile
+
+
+class TestExecutionMetrics:
+    def test_work_uses_weights(self):
+        metrics = ExecutionMetrics(hash_inserts=10, comparisons=4)
+        model = CostModel(hash_insert=2.0, comparison=0.5)
+        assert metrics.work(model) == pytest.approx(10 * 2.0 + 4 * 0.5)
+
+    def test_work_default_model(self):
+        metrics = ExecutionMetrics(tuples_read=3)
+        assert metrics.work() == pytest.approx(3 * CostModel().tuple_read)
+
+    def test_snapshot_is_independent(self):
+        metrics = ExecutionMetrics(hash_probes=1)
+        snap = metrics.snapshot()
+        metrics.hash_probes += 5
+        assert snap.hash_probes == 1
+
+    def test_delta_since(self):
+        metrics = ExecutionMetrics(tuples_read=10, hash_inserts=2)
+        earlier = ExecutionMetrics(tuples_read=4)
+        delta = metrics.delta_since(earlier)
+        assert delta.tuples_read == 6
+        assert delta.hash_inserts == 2
+
+    def test_merge_adds_counters(self):
+        a = ExecutionMetrics(tuples_read=1)
+        b = ExecutionMetrics(tuples_read=2, comparisons=3)
+        a.merge(b)
+        assert a.tuples_read == 3 and a.comparisons == 3
+
+    def test_as_dict_round_trip(self):
+        metrics = ExecutionMetrics(tuple_copies=7)
+        assert ExecutionMetrics(**metrics.as_dict()) == metrics
+
+
+class TestSimulatedClock:
+    def test_charge_advances_cpu_time(self):
+        clock = SimulatedClock(CostModel(seconds_per_unit=0.001))
+        clock.charge(100)
+        assert clock.now == pytest.approx(0.1)
+        assert clock.cpu_time == pytest.approx(0.1)
+        assert clock.wait_time == 0.0
+
+    def test_wait_until_future(self):
+        clock = SimulatedClock()
+        stalled = clock.wait_until(1.5)
+        assert stalled == pytest.approx(1.5)
+        assert clock.now == pytest.approx(1.5)
+        assert clock.wait_time == pytest.approx(1.5)
+
+    def test_wait_until_past_is_noop(self):
+        clock = SimulatedClock()
+        clock.charge(10_000)
+        before = clock.now
+        assert clock.wait_until(before / 2) == 0.0
+        assert clock.now == before
+
+    def test_charge_metrics(self):
+        model = CostModel(seconds_per_unit=1.0)
+        clock = SimulatedClock(model)
+        clock.charge_metrics(ExecutionMetrics(tuples_read=2))
+        assert clock.now == pytest.approx(2 * model.tuple_read)
+
+    def test_snapshot(self):
+        clock = SimulatedClock()
+        clock.charge(1)
+        snap = clock.snapshot()
+        assert set(snap) == {"now", "cpu_time", "wait_time"}
+
+
+class TestWorkProfile:
+    def test_add_and_total(self):
+        profile = WorkProfile()
+        profile.add("merge", 10)
+        profile.add("merge", 5)
+        profile.add("hash")
+        assert profile.get("merge") == 15
+        assert profile.get("hash") == 1
+        assert profile.get("stitch") == 0
+        assert profile.total() == 16
+        assert profile.as_dict() == {"merge": 15, "hash": 1}

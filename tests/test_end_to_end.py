@@ -1,0 +1,181 @@
+"""End-to-end scenarios combining several subsystems at once."""
+
+import pytest
+
+from helpers import assert_same_aggregates, assert_same_bag, reference_spja
+from repro.baselines.static_executor import StaticExecutor
+from repro.core.corrective import CorrectiveQueryProcessor
+from repro.integration.system import AdaptiveIntegrationSystem
+from repro.relational.algebra import AggregateSpec, SPJAQuery
+from repro.relational.expressions import (
+    Aggregate,
+    AttributeRef,
+    Comparison,
+    Constant,
+    JoinPredicate,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.description import MappedSource, SourceDescription
+from repro.sources.network import BurstyNetworkModel
+from repro.sources.remote import RemoteSource
+from repro.workloads.perturb import reorder_fraction
+from repro.workloads.queries import query_3a, query_10a
+
+
+class TestMappedSources:
+    def test_mapped_source_streams_global_schema(self, tiny_tpch):
+        crm_schema = Schema.from_names(
+            ["customer_id", "display_name", "country_id", "segment", "balance", "phone"],
+            relation="crm",
+        )
+        crm = Relation("crm", crm_schema, [tuple(r) for r in tiny_tpch.customer.rows])
+        description = SourceDescription(
+            "crm",
+            "customer",
+            attribute_mapping={
+                "customer_id": "c_custkey",
+                "display_name": "c_name",
+                "country_id": "c_nationkey",
+                "segment": "c_mktsegment",
+                "balance": "c_acctbal",
+                "phone": "c_phone",
+            },
+        )
+        mapped = MappedSource(crm, description)
+        assert mapped.schema.names == tiny_tpch.customer.schema.names
+        rows = [row for row, _arrival in mapped.open_stream()]
+        assert rows == tiny_tpch.customer.rows
+        assert mapped.to_relation().rows == tiny_tpch.customer.rows
+
+    def test_query_through_mapped_source_matches_direct(self, tiny_tpch):
+        crm_schema = Schema.from_names(
+            ["customer_id", "display_name", "country_id", "segment", "balance", "phone"],
+            relation="crm",
+        )
+        crm = Relation("crm", crm_schema, [tuple(r) for r in tiny_tpch.customer.rows])
+        description = SourceDescription(
+            "crm",
+            "customer",
+            attribute_mapping={
+                "customer_id": "c_custkey",
+                "display_name": "c_name",
+                "country_id": "c_nationkey",
+                "segment": "c_mktsegment",
+                "balance": "c_acctbal",
+                "phone": "c_phone",
+            },
+        )
+        system = AdaptiveIntegrationSystem()
+        system.register_source(crm, description=description)
+        for name, relation in tiny_tpch.relations.items():
+            if name != "customer":
+                system.register_source(relation)
+        answer = system.execute(query_3a(), strategy="corrective")
+        expected = reference_spja(query_3a(), tiny_tpch.as_sources())
+        assert_same_aggregates(answer.rows, expected)
+
+
+class TestHeterogeneousFederation:
+    def test_mixed_local_and_remote_sources_with_perturbed_order(self, tiny_tpch):
+        """Remote bursty lineitem, perturbed order, skew-free — everything still agrees."""
+        perturbed_lineitem = reorder_fraction(tiny_tpch.lineitem, 0.05, seed=3)
+        sources = dict(tiny_tpch.as_sources())
+        sources["lineitem"] = RemoteSource(
+            perturbed_lineitem,
+            BurstyNetworkModel(
+                burst_rate=80_000, mean_burst_tuples=500, mean_gap_seconds=0.01, seed=4
+            ),
+        )
+        catalog = tiny_tpch.catalog(with_cardinalities=False)
+        report = CorrectiveQueryProcessor(
+            catalog, sources, polling_interval_seconds=0.1
+        ).execute(query_10a())
+        expected = reference_spja(query_10a(), tiny_tpch.as_sources())
+        assert_same_aggregates(report.rows, expected)
+
+
+class TestAdHocQueries:
+    def test_multi_aggregate_query(self, tiny_tpch):
+        query = SPJAQuery(
+            name="multi_agg",
+            relations=("customer", "orders"),
+            join_predicates=(
+                JoinPredicate("customer", "c_custkey", "orders", "o_custkey"),
+            ),
+            selections={
+                "customer": Comparison(
+                    AttributeRef("c_mktsegment"), "=", Constant("BUILDING")
+                )
+            },
+            aggregation=AggregateSpec(
+                group_attributes=("c_nationkey",),
+                aggregates=(
+                    Aggregate("count", None, "orders_count"),
+                    Aggregate("sum", "o_totalprice", "total_price"),
+                    Aggregate("avg", "o_totalprice", "avg_price"),
+                    Aggregate("max", "o_totalprice", "max_price"),
+                ),
+            ),
+        )
+        sources = tiny_tpch.as_sources()
+        static = StaticExecutor(tiny_tpch.catalog(True), sources).execute(query)
+        adaptive = CorrectiveQueryProcessor(
+            tiny_tpch.catalog(False), sources, polling_interval_seconds=0.05
+        ).execute(query)
+        reference = reference_spja(query, sources)
+
+        def keyed(rows):
+            return {row[0]: row[1:] for row in rows}
+
+        ref_map = keyed(reference)
+        for produced in (keyed(static.rows), keyed(adaptive.rows)):
+            assert set(produced) == set(ref_map)
+            for key, values in ref_map.items():
+                assert produced[key][0] == values[0]
+                assert produced[key][1] == pytest.approx(values[1])
+                assert produced[key][2] == pytest.approx(values[2])
+                assert produced[key][3] == pytest.approx(values[3])
+
+    def test_cyclic_join_graph_query(self, tiny_tpch):
+        """Q5-style cycle (customer-supplier nation equality) on a smaller query."""
+        query = SPJAQuery(
+            name="cycle",
+            relations=("customer", "orders", "lineitem", "supplier"),
+            join_predicates=(
+                JoinPredicate("customer", "c_custkey", "orders", "o_custkey"),
+                JoinPredicate("orders", "o_orderkey", "lineitem", "l_orderkey"),
+                JoinPredicate("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                JoinPredicate("customer", "c_nationkey", "supplier", "s_nationkey"),
+            ),
+            aggregation=AggregateSpec(
+                group_attributes=("s_nationkey",),
+                aggregates=(Aggregate("sum", "l_revenue", "revenue"),),
+            ),
+        )
+        sources = tiny_tpch.as_sources()
+        expected = reference_spja(query, sources)
+        static = StaticExecutor(tiny_tpch.catalog(True), sources).execute(query)
+        adaptive = CorrectiveQueryProcessor(
+            tiny_tpch.catalog(False), sources, polling_interval_seconds=0.05
+        ).execute(query)
+        assert_same_aggregates(static.rows, expected)
+        assert_same_aggregates(adaptive.rows, expected)
+
+    def test_spj_projection_via_system(self, tiny_tpch):
+        query = SPJAQuery(
+            name="spj_proj",
+            relations=("nation", "region"),
+            join_predicates=(
+                JoinPredicate("nation", "n_regionkey", "region", "r_regionkey"),
+            ),
+            selections={
+                "region": Comparison(AttributeRef("r_name"), "=", Constant("ASIA"))
+            },
+        )
+        system = AdaptiveIntegrationSystem()
+        system.register_sources(tiny_tpch.relations.values())
+        answer = system.execute(query, strategy="static")
+        expected = reference_spja(query, tiny_tpch.as_sources())
+        assert_same_bag(answer.rows, expected)
+        assert len(answer.rows) == 5  # five nations per region

@@ -1,0 +1,123 @@
+"""Tests for the pull-based plan executor."""
+
+import pytest
+
+from helpers import assert_same_aggregates, assert_same_bag, reference_spja
+from repro.engine.executor import PullExecutor
+from repro.engine.operators.base import OperatorError
+from repro.optimizer.plans import JoinTree, PhysicalPlan, PreAggPoint
+from repro.relational.algebra import SPJAQuery
+from repro.relational.expressions import JoinPredicate
+from repro.workloads.queries import query_3a, query_10
+
+
+def po_query():
+    return SPJAQuery(
+        name="po",
+        relations=("people", "simple_orders"),
+        join_predicates=(JoinPredicate("people", "pid", "simple_orders", "o_pid"),),
+    )
+
+
+class TestPullExecutor:
+    def test_spj_plan(self, people, simple_orders):
+        sources = {"people": people, "simple_orders": simple_orders}
+        query = po_query()
+        plan = PhysicalPlan(query, JoinTree.left_deep(["people", "simple_orders"]))
+        result = PullExecutor(sources).execute(plan)
+        assert_same_bag(result.rows, reference_spja(query, sources))
+        assert result.cardinality == 6
+        assert result.work() > 0
+        assert result.simulated_seconds > 0
+        assert result.to_relation().cardinality == 6
+
+    def test_projection_applied(self, people, simple_orders):
+        sources = {"people": people, "simple_orders": simple_orders}
+        query = SPJAQuery(
+            name="po_proj",
+            relations=("people", "simple_orders"),
+            join_predicates=(JoinPredicate("people", "pid", "simple_orders", "o_pid"),),
+            projection=("name", "amount"),
+        )
+        plan = PhysicalPlan(query, JoinTree.left_deep(["people", "simple_orders"]))
+        result = PullExecutor(sources).execute(plan)
+        assert result.schema.names == ("name", "amount")
+        assert ("ada", 10.0) in result.rows
+
+    def test_aggregation_query(self, tiny_tpch):
+        sources = tiny_tpch.as_sources()
+        query = query_3a()
+        plan = PhysicalPlan(query, JoinTree.left_deep(["customer", "orders", "lineitem"]))
+        result = PullExecutor(sources).execute(plan)
+        assert_same_aggregates(result.rows, reference_spja(query, sources))
+
+    def test_hybrid_hash_algorithm_option(self, people, simple_orders):
+        sources = {"people": people, "simple_orders": simple_orders}
+        query = po_query()
+        plan = PhysicalPlan(
+            query,
+            JoinTree.left_deep(["people", "simple_orders"]),
+            join_algorithm="hybrid_hash",
+        )
+        result = PullExecutor(sources).execute(plan)
+        assert result.cardinality == 6
+
+    def test_missing_source_raises(self, people):
+        query = po_query()
+        plan = PhysicalPlan(query, JoinTree.left_deep(["people", "simple_orders"]))
+        with pytest.raises(OperatorError):
+            PullExecutor({"people": people}).execute(plan)
+
+    def test_plan_must_match_query_relations(self, people):
+        query = po_query()
+        with pytest.raises(Exception):
+            PhysicalPlan(query, JoinTree.leaf("people"))
+
+    def test_window_preaggregation_point(self, tiny_tpch):
+        sources = tiny_tpch.as_sources()
+        query = query_3a()
+        tree = JoinTree.join(
+            JoinTree.join(JoinTree.leaf("customer"), JoinTree.leaf("orders")),
+            JoinTree.leaf("lineitem"),
+        )
+        plain = PullExecutor(sources).execute(PhysicalPlan(query, tree))
+        with_preagg = PullExecutor(sources).execute(
+            PhysicalPlan(
+                query,
+                tree,
+                preagg_points=(
+                    PreAggPoint(
+                        below=frozenset({"lineitem"}),
+                        mode="window",
+                        group_attributes=("l_orderkey",),
+                    ),
+                ),
+            )
+        )
+        assert_same_aggregates(with_preagg.rows, plain.rows)
+
+    def test_pseudogroup_point_keeps_results_identical(self, tiny_tpch):
+        sources = tiny_tpch.as_sources()
+        query = query_10()
+        tree = JoinTree.join(
+            JoinTree.join(
+                JoinTree.join(JoinTree.leaf("customer"), JoinTree.leaf("nation")),
+                JoinTree.leaf("orders"),
+            ),
+            JoinTree.leaf("lineitem"),
+        )
+        plain = PullExecutor(sources).execute(PhysicalPlan(query, tree))
+        pseudo = PullExecutor(sources).execute(
+            PhysicalPlan(
+                query,
+                tree,
+                preagg_points=(
+                    PreAggPoint(
+                        below=frozenset({"lineitem"}),
+                        mode="pseudogroup",
+                        group_attributes=("l_orderkey",),
+                    ),
+                ),
+            )
+        )
+        assert_same_aggregates(pseudo.rows, plain.rows)

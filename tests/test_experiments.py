@@ -1,0 +1,146 @@
+"""Tests for the experiment harnesses (small scales, shape checks only)."""
+
+import pytest
+
+from repro.experiments.common import (
+    build_dataset,
+    build_paper_datasets,
+    format_table,
+    paper_queries,
+    wireless_network_for,
+)
+from repro.experiments.complementary import (
+    complementary_distribution,
+    run_complementary_comparison,
+)
+from repro.experiments.corrective import (
+    comparison_rows,
+    run_corrective_comparison,
+    stitchup_breakdown,
+    worst_left_deep_tree,
+)
+from repro.experiments.preaggregation import run_preaggregation_comparison
+from repro.experiments.selectivity import build_mid_table, run_selectivity_prediction
+
+SCALE = 0.0006
+
+
+class TestCommon:
+    def test_build_dataset(self):
+        dataset = build_dataset("uniform", SCALE, 0.0, seed=3)
+        assert dataset.total_tuples > 0
+        assert dataset.catalog_no_statistics.statistics("orders").cardinality is None
+        assert dataset.catalog_with_cardinalities.statistics("orders").cardinality > 0
+
+    def test_build_paper_datasets(self):
+        datasets = build_paper_datasets(SCALE, seed=3)
+        assert set(datasets) == {"uniform", "skewed"}
+        assert datasets["skewed"].data.zipf_z > 0
+
+    def test_paper_queries_filter(self):
+        assert set(paper_queries(("Q3A",))) == {"Q3A"}
+        assert set(paper_queries()) == {"Q3A", "Q10", "Q10A", "Q5"}
+
+    def test_wireless_network_deterministic(self):
+        a = list(wireless_network_for(0, seed=1).arrival_times(50))
+        b = list(wireless_network_for(0, seed=1).arrival_times(50))
+        assert a == b
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        assert "a" in text and "10" in text and "0.12" in text
+        assert format_table([]) == "(no rows)"
+
+
+class TestCorrectiveHarness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_corrective_comparison(
+            query_names=("Q3A",),
+            scale_factor=SCALE,
+            include_plan_partitioning=True,
+            forced_bad_start=True,
+            polling_interval=0.05,
+        )
+
+    def test_expected_configurations_present(self, results):
+        strategies = {(r.strategy, r.statistics) for r in results}
+        assert ("static", "none") in strategies
+        assert ("static", "cardinalities") in strategies
+        assert ("adaptive", "none") in strategies
+        assert ("plan_partitioning", "none") in strategies
+        assert ("static_bad_plan", "none") in strategies
+        assert ("adaptive_bad_plan", "none") in strategies
+        assert {r.dataset for r in results} == {"uniform", "skewed"}
+
+    def test_all_strategies_agree_on_answers(self, results):
+        for dataset in ("uniform", "skewed"):
+            counts = {r.answers for r in results if r.dataset == dataset}
+            assert len(counts) == 1
+
+    def test_rows_and_breakdown(self, results):
+        rows = comparison_rows(results)
+        assert len(rows) == len(results)
+        assert {"query", "dataset", "strategy", "statistics", "seconds", "phases"} <= set(
+            rows[0]
+        )
+        breakdown = stitchup_breakdown(results)
+        assert all(row["strategy"].startswith("adaptive") for row in breakdown)
+
+    def test_worst_left_deep_tree_is_connected_and_big_first(self):
+        dataset = build_dataset("uniform", SCALE, 0.0, seed=3)
+        query = paper_queries(("Q5",))["Q5"]
+        tree = worst_left_deep_tree(query, dataset)
+        assert tree.relations() == frozenset(query.relations)
+        assert tree.leaf_order()[0] == "lineitem"
+
+
+class TestComplementaryHarness:
+    def test_rows_and_distribution(self):
+        rows = run_complementary_comparison(
+            scale_factor=SCALE,
+            datasets=("uniform",),
+            reorder_fractions=(0.0, 0.01),
+            queue_capacity=64,
+        )
+        # 1 dataset x 2 fractions x 3 strategies
+        assert len(rows) == 6
+        outputs = {row["outputs"] for row in rows if row["reordered"] == 0.0}
+        assert len(outputs) == 1
+        distribution = complementary_distribution(rows)
+        assert len(distribution) == 4  # hash baseline excluded
+        assert {"hash", "merge", "stitch"} <= set(distribution[0])
+
+
+class TestPreaggregationHarness:
+    def test_rows_cover_strategies(self):
+        rows = run_preaggregation_comparison(
+            query_names=("Q3A", "Q5"), scale_factor=SCALE
+        )
+        strategies = {row["strategy"] for row in rows}
+        assert strategies == {"single_aggregation", "adjustable_window", "traditional"}
+        # answers agree within each (query, dataset)
+        keyed = {}
+        for row in rows:
+            keyed.setdefault((row["query"], row["dataset"]), set()).add(row["answers"])
+        assert all(len(v) == 1 for v in keyed.values())
+
+
+class TestSelectivityHarness:
+    def test_mid_table_shape(self):
+        dataset = build_dataset("uniform", SCALE, 0.0, seed=3)
+        mid = build_mid_table(dataset, rows=500, seed=3)
+        assert len(mid) == 500
+        order_keys = set(dataset.data.orders.column("o_orderkey"))
+        assert set(mid.column("m_orderkey")) <= order_keys
+
+    def test_prediction_result_structure(self):
+        result = run_selectivity_prediction(
+            scale_factor=SCALE, fractions=(0.5, 1.0)
+        )
+        rows = result["prediction_rows"]
+        assert [row["fraction_seen"] for row in rows] == [0.5, 1.0]
+        full = rows[-1]
+        assert full["error_2way"] <= 0.15
+        assert full["error_3way"] <= 0.15
+        assert result["overhead"]["overhead_percent"] > 0

@@ -1,0 +1,171 @@
+"""Tests for aggregation operators: HashAggregate, Pseudogroup, pre-aggregates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operators.aggregate import (
+    GroupAccumulator,
+    HashAggregate,
+    Pseudogroup,
+    TraditionalPreAggregate,
+    aggregate_output_schema,
+)
+from repro.engine.operators.base import OperatorError
+from repro.engine.operators.scan import Scan
+from repro.relational.expressions import Aggregate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SCHEMA = Schema.from_names(["g", "j", "v"])
+
+
+def make_relation(rows):
+    return Relation("t", SCHEMA, rows)
+
+
+ROWS = [
+    ("a", 1, 10),
+    ("a", 1, 20),
+    ("b", 1, 5),
+    ("b", 2, 7),
+    ("a", 2, 1),
+]
+
+
+class TestOutputSchema:
+    def test_aggregate_output_schema(self):
+        schema = aggregate_output_schema(["g"], [Aggregate("sum", "v", "total")], SCHEMA)
+        assert schema.names == ("g", "total")
+
+
+class TestGroupAccumulator:
+    def test_accumulate_and_results(self):
+        acc = GroupAccumulator(SCHEMA, ["g"], [Aggregate("sum", "v", "total")])
+        acc.accumulate_many(ROWS)
+        results = dict((row[0], row[1]) for row in acc.results())
+        assert results == {"a": 31, "b": 12}
+        assert acc.group_count == 2
+        assert acc.tuples_consumed == len(ROWS)
+
+    def test_multiple_aggregates(self):
+        acc = GroupAccumulator(
+            SCHEMA,
+            ["g"],
+            [
+                Aggregate("sum", "v", "total"),
+                Aggregate("count", None, "n"),
+                Aggregate("max", "v", "biggest"),
+                Aggregate("avg", "v", "mean"),
+            ],
+        )
+        acc.accumulate_many(ROWS)
+        by_group = {row[0]: row[1:] for row in acc.results()}
+        assert by_group["a"] == (31, 3, 20, pytest.approx(31 / 3))
+        assert by_group["b"] == (12, 2, 7, pytest.approx(6.0))
+
+    def test_partial_input_mode(self):
+        # Partial aggregates produced by a pre-aggregation step.
+        partial_schema = Schema.from_names(["g", "total"])
+        acc = GroupAccumulator(
+            partial_schema, ["g"], [Aggregate("sum", "v", "total")], input_is_partial=True
+        )
+        acc.accumulate(("a", 30))
+        acc.accumulate(("a", 1))
+        acc.accumulate(("b", 12))
+        assert dict((r[0], r[1]) for r in acc.results()) == {"a": 31, "b": 12}
+
+    def test_empty_input(self):
+        acc = GroupAccumulator(SCHEMA, ["g"], [Aggregate("sum", "v", "t")])
+        assert acc.results() == []
+
+
+class TestHashAggregate:
+    def test_blocking_aggregation(self):
+        operator = HashAggregate(
+            Scan(make_relation(ROWS)), ["g"], [Aggregate("min", "v", "lo")]
+        )
+        assert dict(operator.run_to_completion()) == {"a": 1, "b": 5}
+        assert operator.schema.names == ("g", "lo")
+
+    def test_group_by_multiple_attributes(self):
+        operator = HashAggregate(
+            Scan(make_relation(ROWS)), ["g", "j"], [Aggregate("count", None, "n")]
+        )
+        results = {row[:2]: row[2] for row in operator.run_to_completion()}
+        assert results[("a", 1)] == 2
+        assert results[("b", 2)] == 1
+
+
+class TestPseudogroup:
+    def test_converts_each_tuple_to_singleton_partial(self):
+        operator = Pseudogroup(
+            Scan(make_relation(ROWS)), ["g"], [Aggregate("sum", "v", "total"), Aggregate("count", None, "n")]
+        )
+        rows = operator.run_to_completion()
+        assert len(rows) == len(ROWS)
+        assert rows[0] == ("a", 10, 1)
+        assert operator.schema.names == ("g", "total", "n")
+
+    def test_pseudogroup_then_coalesce_equals_direct(self):
+        pseudo = Pseudogroup(Scan(make_relation(ROWS)), ["g"], [Aggregate("sum", "v", "total")])
+        final = GroupAccumulator(
+            pseudo.schema, ["g"], [Aggregate("sum", "v", "total")], input_is_partial=True
+        )
+        final.accumulate_many(pseudo.run_to_completion())
+        direct = HashAggregate(Scan(make_relation(ROWS)), ["g"], [Aggregate("sum", "v", "total")])
+        assert sorted(final.results()) == sorted(direct.run_to_completion())
+
+
+class TestTraditionalPreAggregate:
+    def test_reduces_then_coalesces_correctly(self):
+        pre = TraditionalPreAggregate(
+            Scan(make_relation(ROWS)), ["g", "j"], [Aggregate("sum", "v", "total")]
+        )
+        partials = pre.run_to_completion()
+        assert len(partials) == 4  # (a,1), (b,1), (b,2), (a,2)
+        final = GroupAccumulator(
+            pre.schema, ["g"], [Aggregate("sum", "v", "total")], input_is_partial=True
+        )
+        final.accumulate_many(partials)
+        assert dict((r[0], r[1]) for r in final.results()) == {"a": 31, "b": 12}
+
+    def test_requires_group_attributes(self):
+        with pytest.raises(OperatorError):
+            TraditionalPreAggregate(Scan(make_relation(ROWS)), [], [Aggregate("sum", "v", "t")])
+
+
+# ---------------------------------------------------------------------------
+# Property: pre-aggregation (partial grouping on a superset of the final
+# grouping attributes) followed by coalescing equals direct aggregation —
+# the distributivity over union that ADP relies on (Section 2.2).
+# ---------------------------------------------------------------------------
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_property_preaggregation_is_exact(rows):
+    relation = make_relation(rows)
+    aggregates = [
+        Aggregate("sum", "v", "total"),
+        Aggregate("count", None, "n"),
+        Aggregate("min", "v", "lo"),
+        Aggregate("max", "v", "hi"),
+    ]
+    direct = HashAggregate(Scan(relation), ["g"], aggregates).run_to_completion()
+
+    pre = TraditionalPreAggregate(Scan(relation), ["g", "j"], aggregates)
+    partials = pre.run_to_completion()
+    final = GroupAccumulator(pre.schema, ["g"], aggregates, input_is_partial=True)
+    final.accumulate_many(partials)
+
+    assert sorted(final.results()) == sorted(direct)

@@ -1,0 +1,116 @@
+"""Tests for scan, filter, project and union operators."""
+
+import pytest
+
+from repro.engine.cost import ExecutionMetrics, SimulatedClock
+from repro.engine.operators.base import Operator, OperatorError
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.project import ProjectOp
+from repro.engine.operators.scan import Scan
+from repro.engine.operators.union import UnionAll
+from repro.relational.expressions import AttributeRef, Comparison, Constant
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.network import ConstantRateNetworkModel
+from repro.sources.remote import RemoteSource
+
+
+class TestOperatorBase:
+    def test_produce_is_abstract(self, people):
+        operator = Operator(people.schema)
+        with pytest.raises(NotImplementedError):
+            list(operator.execute())
+
+    def test_output_counter_and_metrics(self, people):
+        scan = Scan(people)
+        rows = scan.run_to_completion()
+        assert len(rows) == 5
+        assert scan.tuples_produced == 5
+        assert scan.metrics.tuples_output == 5
+        assert scan.metrics.tuples_read == 5
+
+    def test_describe(self, people):
+        scan = Scan(people)
+        scan.run_to_completion()
+        info = scan.describe()
+        assert info["operator"] == "Scan"
+        assert info["tuples_produced"] == 5
+
+
+class TestScan:
+    def test_scan_relation(self, people):
+        assert Scan(people).run_to_completion() == people.rows
+
+    def test_scan_remote_source_waits_on_clock(self, people):
+        source = RemoteSource(people, ConstantRateNetworkModel(tuples_per_second=1.0))
+        clock = SimulatedClock()
+        scan = Scan(source, clock=clock)
+        scan.run_to_completion()
+        # last tuple arrives at t = 4 seconds with 5 tuples at 1/s
+        assert clock.now == pytest.approx(4.0)
+        assert clock.wait_time == pytest.approx(4.0)
+
+    def test_scan_shares_metrics(self, people):
+        metrics = ExecutionMetrics()
+        Scan(people, metrics).run_to_completion()
+        assert metrics.tuples_read == 5
+
+
+class TestFilter:
+    def test_filter_rows(self, people):
+        predicate = Comparison(AttributeRef("city"), "=", Constant("london"))
+        operator = Filter(Scan(people), predicate)
+        assert len(operator.run_to_completion()) == 2
+        assert operator.metrics.predicate_evals == 5
+
+    def test_observed_selectivity(self, people):
+        predicate = Comparison(AttributeRef("age"), ">", Constant(100))
+        operator = Filter(Scan(people), predicate)
+        assert operator.observed_selectivity is None
+        operator.run_to_completion()
+        assert operator.observed_selectivity == 0.0
+
+
+class TestProject:
+    def test_project_columns(self, people):
+        operator = ProjectOp(Scan(people), ["name", "pid"])
+        rows = operator.run_to_completion()
+        assert rows[0] == ("ada", 1)
+        assert operator.schema.names == ("name", "pid")
+
+
+class TestUnionAll:
+    def test_union_concatenates(self, people):
+        union = UnionAll([Scan(people), Scan(people)])
+        assert len(union.run_to_completion()) == 10
+
+    def test_union_adapts_layouts(self, people):
+        reordered_schema = people.schema.project(["city", "pid", "name", "age"])
+        reordered = Relation(
+            "people2",
+            reordered_schema,
+            [(row[3], row[0], row[1], row[2]) for row in people.rows],
+        )
+        union = UnionAll([Scan(people), Scan(reordered)])
+        rows = union.run_to_completion()
+        assert len(rows) == 10
+        # Every adapted row must match the target layout (pid first).
+        assert all(isinstance(row[0], int) for row in rows)
+
+    def test_union_requires_children(self):
+        with pytest.raises(OperatorError):
+            UnionAll([])
+
+    def test_union_incompatible_attribute_sets(self, people, simple_orders):
+        with pytest.raises(OperatorError):
+            UnionAll([Scan(people), Scan(simple_orders)])
+
+
+class TestMaterializeHelper:
+    def test_materialize(self, people):
+        from repro.engine.executor import materialize
+
+        relation = materialize(Scan(people), name="copy")
+        assert relation.name == "copy"
+        assert relation.rows == people.rows
+        assert relation.schema.names == people.schema.names

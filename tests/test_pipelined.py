@@ -1,0 +1,196 @@
+"""Tests for the push-based pipelined hash-join network."""
+
+import pytest
+
+from helpers import assert_same_aggregates, assert_same_bag, reference_spja
+from repro.engine.cost import ExecutionMetrics, SimulatedClock
+from repro.engine.pipelined import PipelinedExecutor, PipelinedPlan, SourceCursor
+from repro.engine.state.registry import StateRegistry, expression_signature
+from repro.optimizer.plans import JoinTree, PlanError
+from repro.relational.algebra import AggregateSpec, SPJAQuery
+from repro.relational.expressions import (
+    Aggregate,
+    AttributeRef,
+    Comparison,
+    Constant,
+    JoinPredicate,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.network import ConstantRateNetworkModel
+from repro.sources.remote import RemoteSource
+from repro.workloads.queries import query_3a
+
+
+def simple_join_query():
+    return SPJAQuery(
+        name="po",
+        relations=("people", "simple_orders"),
+        join_predicates=(JoinPredicate("people", "pid", "simple_orders", "o_pid"),),
+    )
+
+
+class TestSourceCursor:
+    def test_sequential_reads_and_exhaustion(self, people):
+        cursor = SourceCursor("people", people)
+        rows = []
+        while True:
+            item = cursor.read()
+            if item is None:
+                break
+            rows.append(item[0])
+        assert rows == people.rows
+        assert cursor.consumed == len(people)
+        assert cursor.exhausted
+        assert cursor.peek_arrival() is None
+
+    def test_peek_does_not_consume(self, people):
+        cursor = SourceCursor("people", people)
+        assert cursor.peek_arrival() == 0.0
+        assert cursor.consumed == 0
+        cursor.read()
+        assert cursor.consumed == 1
+
+    def test_remote_source_arrival_times(self, people):
+        source = RemoteSource(people, ConstantRateNetworkModel(tuples_per_second=2.0))
+        cursor = SourceCursor("people", source)
+        first = cursor.read()
+        second = cursor.read()
+        assert first[1] == pytest.approx(0.0)
+        assert second[1] == pytest.approx(0.5)
+
+
+class TestPipelinedPlan:
+    def test_two_way_join_matches_reference(self, people, simple_orders):
+        query = simple_join_query()
+        sources = {"people": people, "simple_orders": simple_orders}
+        executor = PipelinedExecutor(sources)
+        rows, plan = executor.execute(query, JoinTree.left_deep(["people", "simple_orders"]))
+        assert_same_bag(rows, reference_spja(query, sources))
+        assert plan.output_count == len(rows)
+
+    def test_selection_applied_at_leaf(self, people, simple_orders):
+        query = SPJAQuery(
+            name="po_sel",
+            relations=("people", "simple_orders"),
+            join_predicates=(JoinPredicate("people", "pid", "simple_orders", "o_pid"),),
+            selections={"people": Comparison(AttributeRef("city"), "=", Constant("london"))},
+        )
+        sources = {"people": people, "simple_orders": simple_orders}
+        rows, plan = PipelinedExecutor(sources).execute(
+            query, JoinTree.left_deep(["people", "simple_orders"])
+        )
+        assert_same_bag(rows, reference_spja(query, sources))
+        assert plan.leaf_counts()["people"] == 2  # only londoners buffered
+
+    def test_single_relation_query(self, people):
+        query = SPJAQuery(
+            name="only_people",
+            relations=("people",),
+            join_predicates=(),
+            selections={"people": Comparison(AttributeRef("age"), ">", Constant(40))},
+        )
+        rows, plan = PipelinedExecutor({"people": people}).execute(query, JoinTree.leaf("people"))
+        assert len(rows) == 4
+        assert plan.sources_exhausted
+
+    def test_aggregation_query_on_tpch(self, tiny_tpch):
+        query = query_3a()
+        sources = tiny_tpch.as_sources()
+        tree = JoinTree.join(
+            JoinTree.join(JoinTree.leaf("customer"), JoinTree.leaf("orders")),
+            JoinTree.leaf("lineitem"),
+        )
+        rows, _plan = PipelinedExecutor(sources).execute(query, tree)
+        assert_same_aggregates(rows, reference_spja(query, sources))
+
+    def test_bushy_and_leftdeep_trees_agree(self, tiny_tpch):
+        query = query_3a()
+        sources = tiny_tpch.as_sources()
+        left_deep = JoinTree.left_deep(["customer", "orders", "lineitem"])
+        bushy = JoinTree.join(
+            JoinTree.leaf("lineitem"),
+            JoinTree.join(JoinTree.leaf("customer"), JoinTree.leaf("orders")),
+        )
+        rows_a, _ = PipelinedExecutor(sources).execute(query, left_deep)
+        rows_b, _ = PipelinedExecutor(sources).execute(query, bushy)
+        assert_same_aggregates(rows_a, rows_b)
+
+    def test_tree_must_cover_query(self, people, simple_orders):
+        query = simple_join_query()
+        cursors = {
+            "people": SourceCursor("people", people),
+            "simple_orders": SourceCursor("simple_orders", simple_orders),
+        }
+        with pytest.raises(PlanError):
+            PipelinedPlan(query, JoinTree.leaf("people"), cursors, lambda row: None)
+
+    def test_step_granularity_and_suspension(self, people, simple_orders):
+        query = simple_join_query()
+        cursors = {
+            "people": SourceCursor("people", people),
+            "simple_orders": SourceCursor("simple_orders", simple_orders),
+        }
+        collected = []
+        plan = PipelinedPlan(
+            query,
+            JoinTree.left_deep(["people", "simple_orders"]),
+            cursors,
+            collected.append,
+        )
+        ran = plan.run(max_steps=3)
+        assert ran == 3
+        assert not plan.sources_exhausted
+        # Resume and finish.
+        plan.run()
+        assert plan.sources_exhausted
+        assert len(collected) == 6
+
+    def test_observed_selectivities_and_counts(self, people, simple_orders):
+        query = simple_join_query()
+        sources = {"people": people, "simple_orders": simple_orders}
+        _rows, plan = PipelinedExecutor(sources).execute(
+            query, JoinTree.left_deep(["people", "simple_orders"])
+        )
+        selectivities = plan.observed_selectivities()
+        key = frozenset({"people", "simple_orders"})
+        expected = 6 / (len(people) * len(simple_orders))
+        assert selectivities[key] == pytest.approx(expected)
+        assert plan.node_output_counts()[key] == 6
+
+    def test_register_state(self, people, simple_orders):
+        query = simple_join_query()
+        sources = {"people": people, "simple_orders": simple_orders}
+        _rows, plan = PipelinedExecutor(sources).execute(
+            query, JoinTree.left_deep(["people", "simple_orders"])
+        )
+        registry = StateRegistry()
+        plan.register_state(registry)
+        people_partition = registry.lookup(expression_signature([("people", 0)]))
+        orders_partition = registry.lookup(expression_signature([("simple_orders", 0)]))
+        assert people_partition.cardinality == len(people)
+        assert orders_partition.cardinality == len(simple_orders)
+
+    def test_clock_and_metrics_accumulate(self, people, simple_orders):
+        query = simple_join_query()
+        sources = {"people": people, "simple_orders": simple_orders}
+        metrics = ExecutionMetrics()
+        clock = SimulatedClock()
+        PipelinedExecutor(sources).execute(query, JoinTree.left_deep(["people", "simple_orders"]), clock=clock, metrics=metrics)
+        assert metrics.tuples_read == len(people) + len(simple_orders)
+        assert clock.now > 0.0
+
+    def test_availability_driven_scheduling_prefers_arrived_tuples(self, people, simple_orders):
+        # people arrive slowly, orders instantly: the plan should drain orders
+        # while waiting instead of stalling on people.
+        slow_people = RemoteSource(people, ConstantRateNetworkModel(tuples_per_second=1.0))
+        query = simple_join_query()
+        sources = {"people": slow_people, "simple_orders": simple_orders}
+        clock = SimulatedClock()
+        _rows, plan = PipelinedExecutor(sources).execute(
+            query, JoinTree.left_deep(["people", "simple_orders"]), clock=clock
+        )
+        # All orders must have been consumed before the last (slowest) person
+        # arrived; total time is dominated by the 4-second people transfer.
+        assert clock.now >= 4.0
+        assert plan.leaf_counts()["simple_orders"] == len(simple_orders)

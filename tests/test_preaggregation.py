@@ -1,0 +1,187 @@
+"""Tests for adjustable-window pre-aggregation (paper Section 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preaggregation import (
+    AdjustableWindowPreAggregate,
+    WindowDecision,
+    WindowPolicy,
+    WindowedPreAggregator,
+)
+from repro.engine.operators.aggregate import GroupAccumulator, HashAggregate
+from repro.engine.operators.base import OperatorError
+from repro.engine.operators.scan import Scan
+from repro.relational.expressions import Aggregate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SCHEMA = Schema.from_names(["g", "v"])
+
+
+def relation_from_groups(groups):
+    """groups: list of (group, value) pairs."""
+    return Relation("t", SCHEMA, list(groups))
+
+
+def repeated_groups(n, distinct):
+    return relation_from_groups([(i % distinct, i) for i in range(n)])
+
+
+def unique_groups(n):
+    return relation_from_groups([(i, i) for i in range(n)])
+
+
+AGGS = [Aggregate("sum", "v", "total"), Aggregate("count", None, "n")]
+
+
+def final_results(operator):
+    final = GroupAccumulator(operator.schema, ["g"], AGGS, input_is_partial=True)
+    final.accumulate_many(operator.run_to_completion())
+    return sorted(final.results())
+
+
+class TestWindowPolicy:
+    def test_grow_on_effective_window(self):
+        policy = WindowPolicy(initial_window=8, grow_factor=2, effectiveness_threshold=0.75)
+        assert policy.next_size(8, reduction_ratio=0.5) == 16
+
+    def test_shrink_on_ineffective_window(self):
+        policy = WindowPolicy(initial_window=8, shrink_factor=2)
+        assert policy.next_size(8, reduction_ratio=0.95) == 4
+
+    def test_bounds_respected(self):
+        policy = WindowPolicy(initial_window=8, min_window=2, max_window=16)
+        assert policy.next_size(16, 0.1) == 16
+        assert policy.next_size(2, 1.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowPolicy(min_window=0)
+        with pytest.raises(ValueError):
+            WindowPolicy(initial_window=100, max_window=50)
+        with pytest.raises(ValueError):
+            WindowPolicy(grow_factor=1)
+        with pytest.raises(ValueError):
+            WindowPolicy(effectiveness_threshold=0.0)
+
+
+class TestCorrectness:
+    def test_equals_direct_aggregation_on_repetitive_data(self):
+        relation = repeated_groups(500, distinct=10)
+        window_op = AdjustableWindowPreAggregate(Scan(relation), ["g"], AGGS)
+        direct = HashAggregate(Scan(relation), ["g"], AGGS)
+        assert final_results(window_op) == sorted(direct.run_to_completion())
+
+    def test_equals_direct_aggregation_on_unique_data(self):
+        relation = unique_groups(300)
+        window_op = AdjustableWindowPreAggregate(Scan(relation), ["g"], AGGS)
+        direct = HashAggregate(Scan(relation), ["g"], AGGS)
+        assert final_results(window_op) == sorted(direct.run_to_completion())
+
+    def test_requires_group_attributes(self):
+        with pytest.raises(OperatorError):
+            AdjustableWindowPreAggregate(Scan(unique_groups(5)), [], AGGS)
+
+
+class TestAdaptivity:
+    def test_window_grows_on_repetitive_data(self):
+        relation = repeated_groups(2000, distinct=4)
+        operator = AdjustableWindowPreAggregate(
+            Scan(relation), ["g"], AGGS, policy=WindowPolicy(initial_window=16)
+        )
+        operator.run_to_completion()
+        assert operator.current_window_size > 16
+        assert operator.overall_reduction < 0.25
+        sizes = [d.window_size for d in operator.window_decisions]
+        assert sizes == sorted(sizes)  # monotonically growing here
+
+    def test_window_shrinks_to_passthrough_on_unique_data(self):
+        relation = unique_groups(2000)
+        operator = AdjustableWindowPreAggregate(
+            Scan(relation), ["g"], AGGS, policy=WindowPolicy(initial_window=64)
+        )
+        rows = operator.run_to_completion()
+        assert len(rows) == len(relation)  # no coalescing possible
+        assert operator.current_window_size <= WindowPolicy().reprobe_window
+        assert any(d.next_window_size < d.window_size for d in operator.window_decisions)
+
+    def test_reprobe_after_passthrough(self):
+        """Unique prefix then heavily repetitive suffix: the operator recovers."""
+        prefix = [(i, i) for i in range(300)]
+        suffix = [(9999, i) for i in range(8000)]
+        relation = relation_from_groups(prefix + suffix)
+        policy = WindowPolicy(initial_window=32, reprobe_interval=1024, reprobe_window=16)
+        operator = AdjustableWindowPreAggregate(Scan(relation), ["g"], AGGS, policy=policy)
+        operator.run_to_completion()
+        assert operator.current_window_size > 1
+        assert operator.overall_reduction < 0.9
+
+    def test_decisions_record_reduction(self):
+        relation = repeated_groups(200, distinct=2)
+        operator = AdjustableWindowPreAggregate(
+            Scan(relation), ["g"], AGGS, policy=WindowPolicy(initial_window=50)
+        )
+        operator.run_to_completion()
+        decision = operator.window_decisions[0]
+        assert isinstance(decision, WindowDecision)
+        assert decision.tuples_in == 50
+        assert decision.tuples_out == 2
+        assert decision.reduction_ratio == pytest.approx(2 / 50)
+
+
+class TestPushInterface:
+    def test_feed_and_flush(self):
+        pre = WindowedPreAggregator(
+            SCHEMA, ["g"], AGGS, policy=WindowPolicy(initial_window=4)
+        )
+        emitted = []
+        for row in [(1, 10), (1, 20), (2, 5), (2, 5), (1, 1)]:
+            emitted.extend(pre.feed(row))
+        emitted.extend(pre.flush())
+        final = GroupAccumulator(pre.output_schema, ["g"], AGGS, input_is_partial=True)
+        final.accumulate_many(emitted)
+        results = dict((row[0], (row[1], row[2])) for row in final.results())
+        assert results == {1: (31, 3), 2: (10, 2)}
+
+    def test_output_schema(self):
+        pre = WindowedPreAggregator(SCHEMA, ["g"], AGGS)
+        assert pre.output_schema.names == ("g", "total", "n")
+
+    def test_overall_reduction_tracking(self):
+        pre = WindowedPreAggregator(
+            SCHEMA, ["g"], AGGS, policy=WindowPolicy(initial_window=10)
+        )
+        for i in range(100):
+            pre.feed((0, i))
+        pre.flush()
+        assert pre.overall_reduction < 0.2
+        assert pre.current_window_size > 10
+        assert pre.window_decisions
+
+
+# ---------------------------------------------------------------------------
+# Property: windowed pre-aggregation followed by coalescing equals direct
+# aggregation for every input and window policy — the distributivity of
+# aggregation over union that makes the operator safe to insert anywhere.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.integers(-50, 50)),
+        max_size=150,
+    ),
+    initial_window=st.integers(min_value=1, max_value=32),
+    threshold=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_property_windowed_preaggregation_is_exact(rows, initial_window, threshold):
+    relation = relation_from_groups(rows)
+    policy = WindowPolicy(
+        initial_window=initial_window, effectiveness_threshold=threshold
+    )
+    operator = AdjustableWindowPreAggregate(Scan(relation), ["g"], AGGS, policy=policy)
+    direct = HashAggregate(Scan(relation), ["g"], AGGS)
+    assert final_results(operator) == sorted(direct.run_to_completion())

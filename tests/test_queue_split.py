@@ -1,0 +1,112 @@
+"""Tests for the tuple queue and the split/combine routing operators."""
+
+import pytest
+
+from repro.engine.operators.queue import QueueClosed, TupleQueue
+from repro.engine.operators.scan import Scan
+from repro.engine.operators.split import Combine, Split
+from repro.core.router import RoundRobinRouter
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SCHEMA = Schema.from_names(["k", "v"])
+
+
+class TestTupleQueue:
+    def test_push_pop_fifo(self):
+        queue = TupleQueue()
+        queue.push((1,))
+        queue.push((2,))
+        assert queue.pop() == (1,)
+        assert queue.pop() == (2,)
+        assert queue.pop() is None
+
+    def test_close_semantics(self):
+        queue = TupleQueue()
+        queue.push((1,))
+        queue.close()
+        assert queue.is_closed
+        assert not queue.is_exhausted  # one item still buffered
+        with pytest.raises(QueueClosed):
+            queue.push((2,))
+        assert queue.pop() == (1,)
+        assert queue.is_exhausted
+
+    def test_capacity_and_counters(self):
+        queue = TupleQueue(capacity=2)
+        queue.push((1,))
+        assert not queue.is_full
+        queue.push((2,))
+        assert queue.is_full
+        assert queue.total_enqueued == 2
+        assert len(queue) == 2
+
+    def test_drain(self):
+        queue = TupleQueue()
+        for i in range(3):
+            queue.push((i,))
+        assert list(queue.drain()) == [(0,), (1,), (2,)]
+        assert len(queue) == 0
+
+
+class TestSplit:
+    def test_routes_by_router_policy(self):
+        targets = [TupleQueue("a"), TupleQueue("b")]
+        split = Split(SCHEMA, targets, router=lambda row: row[0] % 2)
+        for key in range(6):
+            split.push((key, "x"))
+        assert len(targets[0]) == 3
+        assert len(targets[1]) == 3
+        assert split.distribution() == {0: 3, 1: 3}
+
+    def test_round_robin_router_with_split(self):
+        targets = [TupleQueue(), TupleQueue(), TupleQueue()]
+        split = Split(SCHEMA, targets, RoundRobinRouter(targets=3, chunk_size=2))
+        split.push_all(iter([(i, None) for i in range(6)]))
+        assert [len(q) for q in targets] == [2, 2, 2]
+
+    def test_invalid_router_index(self):
+        split = Split(SCHEMA, [TupleQueue()], router=lambda row: 5)
+        with pytest.raises(IndexError):
+            split.push((1, "x"))
+
+    def test_requires_targets(self):
+        with pytest.raises(ValueError):
+            Split(SCHEMA, [], router=lambda row: 0)
+
+    def test_close_closes_all_targets(self):
+        targets = [TupleQueue(), TupleQueue()]
+        split = Split(SCHEMA, targets, router=lambda row: 0)
+        split.close()
+        assert all(q.is_closed for q in targets)
+
+
+class TestCombine:
+    def test_round_robin_union(self):
+        q1, q2 = TupleQueue(), TupleQueue()
+        for i in range(3):
+            q1.push((i, "q1"))
+        q2.push((99, "q2"))
+        q1.close(), q2.close()
+        combine = Combine(SCHEMA, [q1, q2])
+        rows = combine.run_to_completion()
+        assert len(rows) == 4
+        assert (99, "q2") in rows
+
+    def test_adapts_source_layouts(self):
+        reordered = Schema.from_names(["v", "k"])
+        q1, q2 = TupleQueue(), TupleQueue()
+        q1.push((1, "a"))
+        q2.push(("b", 2))  # reordered layout
+        q1.close(), q2.close()
+        combine = Combine(SCHEMA, [q1, q2], source_schemas=[SCHEMA, reordered])
+        rows = combine.run_to_completion()
+        assert (1, "a") in rows and (2, "b") in rows
+
+    def test_split_then_combine_is_lossless(self, people):
+        queues = [TupleQueue(), TupleQueue()]
+        split = Split(people.schema, queues, router=lambda row: row[0] % 2)
+        split.push_all(Scan(people).execute())
+        split.close()
+        combine = Combine(people.schema, queues)
+        assert sorted(combine.run_to_completion()) == sorted(people.rows)

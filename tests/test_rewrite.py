@@ -1,0 +1,84 @@
+"""Tests for pre-aggregation push-down analysis."""
+
+from repro.optimizer.plans import JoinTree
+from repro.optimizer.rewrite import (
+    aggregate_attributes_covered,
+    find_preaggregation_points,
+    required_above,
+    subtree_attributes,
+)
+from repro.workloads.queries import query_3a, query_5, query_10a
+from repro.workloads.tpch_schema import TPCH_SCHEMAS
+
+
+def schemas_for(query):
+    return {name: TPCH_SCHEMAS[name] for name in query.relations}
+
+
+class TestSubtreeAnalysis:
+    def test_subtree_attributes(self):
+        query = query_3a()
+        attrs = subtree_attributes(JoinTree.leaf("lineitem"), schemas_for(query))
+        assert "l_orderkey" in attrs and "l_revenue" in attrs
+
+    def test_aggregate_attributes_covered(self):
+        query = query_3a()
+        schemas = schemas_for(query)
+        assert aggregate_attributes_covered(query, JoinTree.leaf("lineitem"), schemas)
+        assert not aggregate_attributes_covered(query, JoinTree.leaf("orders"), schemas)
+
+    def test_required_above_includes_join_and_group_attributes(self):
+        query = query_3a()
+        tree = JoinTree.left_deep(["customer", "orders", "lineitem"])
+        needed = required_above(query, tree, JoinTree.leaf("lineitem"), schemas_for(query))
+        assert needed == {"l_orderkey"}
+
+        tree_q10a = JoinTree.left_deep(["customer", "nation", "orders", "lineitem"])
+        needed_li = required_above(
+            query_10a(), tree_q10a, JoinTree.leaf("lineitem"), schemas_for(query_10a())
+        )
+        assert needed_li == {"l_orderkey"}
+
+
+class TestFindPreaggregationPoints:
+    def test_q3a_point_is_lineitem(self):
+        query = query_3a()
+        tree = JoinTree.left_deep(["customer", "orders", "lineitem"])
+        points = find_preaggregation_points(query, tree, schemas_for(query))
+        assert len(points) == 1
+        assert points[0].below == frozenset({"lineitem"})
+        assert points[0].group_attributes == ("l_orderkey",)
+        assert points[0].mode == "window"
+
+    def test_q5_point_groups_on_both_join_keys(self):
+        query = query_5()
+        tree = JoinTree.left_deep(
+            ["region", "nation", "supplier", "customer", "orders", "lineitem"]
+        )
+        points = find_preaggregation_points(query, tree, schemas_for(query), mode="traditional")
+        assert len(points) == 1
+        assert points[0].below == frozenset({"lineitem"})
+        assert set(points[0].group_attributes) == {"l_orderkey", "l_suppkey"}
+        assert points[0].mode == "traditional"
+
+    def test_minimal_subtree_is_chosen(self):
+        """When both lineitem and (orders ⋈ lineitem) qualify, pick the smaller one."""
+        query = query_3a()
+        tree = JoinTree.join(
+            JoinTree.leaf("customer"),
+            JoinTree.join(JoinTree.leaf("orders"), JoinTree.leaf("lineitem")),
+        )
+        points = find_preaggregation_points(query, tree, schemas_for(query))
+        assert {p.below for p in points} == {frozenset({"lineitem"})}
+
+    def test_spj_query_has_no_points(self):
+        from repro.relational.algebra import SPJAQuery
+        from repro.relational.expressions import JoinPredicate
+
+        query = SPJAQuery(
+            name="spj",
+            relations=("orders", "lineitem"),
+            join_predicates=(JoinPredicate("orders", "o_orderkey", "lineitem", "l_orderkey"),),
+        )
+        tree = JoinTree.left_deep(["orders", "lineitem"])
+        assert find_preaggregation_points(query, tree, schemas_for(query_3a())) == ()

@@ -1,0 +1,105 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.relational.schema import Attribute, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_qualified_name_with_relation(self):
+        attr = Attribute("c_custkey", "int", "customer")
+        assert attr.qualified_name == "customer.c_custkey"
+
+    def test_qualified_name_without_relation(self):
+        assert Attribute("revenue").qualified_name == "revenue"
+
+    def test_renamed_preserves_type_and_relation(self):
+        attr = Attribute("a", "int", "r").renamed("b")
+        assert attr.name == "b"
+        assert attr.type_name == "int"
+        assert attr.relation == "r"
+
+    def test_without_relation(self):
+        attr = Attribute("a", "int", "r").without_relation()
+        assert attr.relation is None
+        assert attr.name == "a"
+
+
+class TestSchemaConstruction:
+    def test_from_names(self):
+        schema = Schema.from_names(["a", "b", "c"], relation="r")
+        assert schema.names == ("a", "b", "c")
+        assert len(schema) == 3
+
+    def test_from_names_with_types(self):
+        schema = Schema.from_names(["a", "b"], types=["int", "str"])
+        assert schema.attribute("b").type_name == "str"
+
+    def test_from_names_type_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            Schema.from_names(["a", "b"], types=["int"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Attribute("a"), Attribute("a")))
+
+
+class TestSchemaLookups:
+    def test_position(self):
+        schema = Schema.from_names(["x", "y", "z"])
+        assert schema.position("y") == 1
+
+    def test_position_qualified(self):
+        schema = Schema.from_names(["x", "y"], relation="r")
+        assert schema.position("r.y") == 1
+
+    def test_position_missing_raises(self):
+        schema = Schema.from_names(["x"])
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_positions_multiple(self):
+        schema = Schema.from_names(["a", "b", "c", "d"])
+        assert schema.positions(["d", "a"]) == (3, 0)
+
+    def test_contains(self):
+        schema = Schema.from_names(["a", "b"])
+        assert "a" in schema
+        assert "zzz" not in schema
+
+    def test_iteration_yields_attributes(self):
+        schema = Schema.from_names(["a", "b"])
+        assert [attr.name for attr in schema] == ["a", "b"]
+
+
+class TestSchemaDerivation:
+    def test_project_order_follows_argument(self):
+        schema = Schema.from_names(["a", "b", "c"])
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_concat(self):
+        left = Schema.from_names(["a", "b"])
+        right = Schema.from_names(["c"])
+        assert left.concat(right).names == ("a", "b", "c")
+
+    def test_concat_duplicate_raises(self):
+        left = Schema.from_names(["a"])
+        right = Schema.from_names(["a"])
+        with pytest.raises(SchemaError):
+            left.concat(right)
+
+    def test_rename_relation(self):
+        schema = Schema.from_names(["a"], relation="old").rename_relation("new")
+        assert schema.attribute("a").relation == "new"
+
+    def test_extended(self):
+        schema = Schema.from_names(["a"]).extended([Attribute("b")])
+        assert schema.names == ("a", "b")
+
+    def test_compatible_with(self):
+        one = Schema.from_names(["a", "b"])
+        two = Schema.from_names(["a", "b"], relation="r")
+        three = Schema.from_names(["b", "a"])
+        assert one.compatible_with(two)
+        assert not one.compatible_with(three)

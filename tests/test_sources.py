@@ -1,0 +1,122 @@
+"""Tests for data sources, network models and source descriptions."""
+
+import pytest
+
+from repro.relational.catalog import TableStatistics
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.description import MappingError, SourceDescription
+from repro.sources.network import (
+    BurstyNetworkModel,
+    ConstantRateNetworkModel,
+    InstantNetworkModel,
+)
+from repro.sources.remote import RemoteSource
+from repro.sources.source import LocalSource
+
+
+class TestLocalSource:
+    def test_streams_with_zero_arrival(self, people):
+        source = LocalSource(people)
+        stream = list(source.open_stream())
+        assert [row for row, _t in stream] == people.rows
+        assert all(t == 0.0 for _row, t in stream)
+        assert len(source) == len(people)
+        assert source.schema is people.schema
+
+
+class TestNetworkModels:
+    def test_instant(self):
+        assert list(InstantNetworkModel().arrival_times(3)) == [0.0, 0.0, 0.0]
+
+    def test_constant_rate(self):
+        times = list(ConstantRateNetworkModel(10.0, latency=1.0).arrival_times(3))
+        assert times == pytest.approx([1.0, 1.1, 1.2])
+
+    def test_constant_rate_validation(self):
+        with pytest.raises(ValueError):
+            ConstantRateNetworkModel(0.0)
+
+    def test_bursty_deterministic_and_monotone(self):
+        model = BurstyNetworkModel(seed=5)
+        a = list(model.arrival_times(500))
+        b = list(BurstyNetworkModel(seed=5).arrival_times(500))
+        assert a == b
+        assert all(a[i] <= a[i + 1] for i in range(len(a) - 1))
+        assert len(a) == 500
+
+    def test_bursty_has_gaps(self):
+        model = BurstyNetworkModel(
+            burst_rate=10_000, mean_burst_tuples=50, mean_gap_seconds=0.5, seed=1
+        )
+        times = list(model.arrival_times(1000))
+        largest_gap = max(b - a for a, b in zip(times, times[1:]))
+        assert largest_gap > 0.1  # visible burst gaps
+
+    def test_bursty_validation(self):
+        with pytest.raises(ValueError):
+            BurstyNetworkModel(burst_rate=0)
+        with pytest.raises(ValueError):
+            BurstyNetworkModel(mean_burst_tuples=0)
+        with pytest.raises(ValueError):
+            BurstyNetworkModel(mean_gap_seconds=-1)
+
+    def test_bursty_expected_transfer_estimate(self):
+        model = BurstyNetworkModel(seed=0)
+        assert model.expected_transfer_seconds(1000) > 0
+
+
+class TestRemoteSource:
+    def test_stream_matches_relation_with_arrivals(self, people):
+        source = RemoteSource(people, ConstantRateNetworkModel(1.0))
+        stream = list(source.open_stream())
+        assert [row for row, _t in stream] == people.rows
+        assert stream[-1][1] == pytest.approx(len(people) - 1)
+
+    def test_repeated_access_is_reproducible(self, people):
+        source = RemoteSource(people, BurstyNetworkModel(seed=3))
+        assert list(source.open_stream()) == list(source.open_stream())
+
+    def test_with_network(self, people):
+        source = RemoteSource(people, InstantNetworkModel())
+        slowed = source.with_network(ConstantRateNetworkModel(1.0))
+        assert slowed.name == source.name
+        assert list(slowed.open_stream())[-1][1] > 0
+
+
+class TestSourceDescription:
+    def test_translate_schema_and_rows(self):
+        source_schema = Schema.from_names(["id", "full_name", "junk"], relation="crm")
+        description = SourceDescription(
+            source_name="crm_customers",
+            global_relation="customer",
+            attribute_mapping={"id": "c_custkey", "full_name": "c_name"},
+        )
+        translated = description.translate_schema(source_schema)
+        assert translated.names == ("c_custkey", "c_name")
+        assert translated.attributes[0].relation == "customer"
+        assert description.translate_row(source_schema, (7, "Ada", "x")) == (7, "Ada")
+
+    def test_identity_mapping_keeps_everything(self):
+        source_schema = Schema.from_names(["a", "b"], relation="src")
+        description = SourceDescription("src", "global")
+        assert description.translate_schema(source_schema).names == ("a", "b")
+        assert description.covers(["anything"])
+
+    def test_covers(self):
+        description = SourceDescription(
+            "src", "global", attribute_mapping={"x": "a", "y": "b"}
+        )
+        assert description.covers(["a"])
+        assert not description.covers(["a", "z"])
+
+    def test_empty_mapping_result_raises(self):
+        source_schema = Schema.from_names(["a"], relation="src")
+        description = SourceDescription("src", "global", attribute_mapping={"zzz": "q"})
+        with pytest.raises(MappingError):
+            description.translate_schema(source_schema)
+
+    def test_promised_statistics_default(self):
+        description = SourceDescription("src", "global")
+        assert isinstance(description.promised_statistics, TableStatistics)
+        assert description.promised_statistics.cardinality is None

@@ -1,0 +1,180 @@
+"""Tests for the stitch-up executor.
+
+The central correctness property: running a query in multiple phases (each
+phase joining only its own partitions) and then stitching up the cross-phase
+combinations must produce exactly the same answers as a single-phase run.
+"""
+
+import itertools
+
+import pytest
+
+from helpers import assert_same_bag, reference_spja
+from repro.core.stitchup import StitchUpExecutor
+from repro.engine.pipelined import PipelinedPlan, SourceCursor
+from repro.engine.state.registry import StateRegistry
+from repro.optimizer.plans import JoinTree
+from repro.relational.algebra import SPJAQuery
+from repro.relational.expressions import JoinPredicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def three_way_query():
+    return SPJAQuery(
+        name="rst",
+        relations=("r", "s", "t"),
+        join_predicates=(
+            JoinPredicate("r", "rk", "s", "s_rk"),
+            JoinPredicate("s", "sk", "t", "t_sk"),
+        ),
+    )
+
+
+def make_sources(n=60, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    r_schema = Schema.from_names(["rk", "rv"], relation="r")
+    s_schema = Schema.from_names(["sk", "s_rk"], relation="s")
+    t_schema = Schema.from_names(["tk", "t_sk"], relation="t")
+    r = Relation("r", r_schema, [(i, f"r{i}") for i in range(n)])
+    s = Relation("s", s_schema, [(i, rng.randrange(n)) for i in range(2 * n)])
+    t = Relation("t", t_schema, [(i, rng.randrange(2 * n)) for i in range(3 * n)])
+    return {"r": r, "s": s, "t": t}
+
+
+def run_in_phases(query, sources, trees, boundaries):
+    """Run the query as sequential phases switching trees at the given step counts."""
+    cursors = {name: SourceCursor(name, sources[name]) for name in query.relations}
+    registry = StateRegistry()
+    collected = []
+    canonical_schema = None
+
+    from repro.relational.tuples import TupleAdapter
+
+    phase_id = 0
+    for tree, max_steps in itertools.zip_longest(trees, boundaries):
+        plan = PipelinedPlan(query, tree, cursors, lambda row: None, phase_id=phase_id)
+        if canonical_schema is None:
+            canonical_schema = plan.output_schema
+        adapter = TupleAdapter(plan.output_schema, canonical_schema)
+        plan.output_sink = (
+            collected.append
+            if adapter.is_identity
+            else (lambda row, a=adapter: collected.append(a.adapt(row)))
+        )
+        plan.run(max_steps=max_steps)
+        plan.register_state(registry)
+        phase_id += 1
+        if plan.sources_exhausted:
+            break
+
+    stitchup = StitchUpExecutor(
+        query, registry, phase_id, canonical_schema, collected.append
+    )
+    report = stitchup.run()
+    return collected, report
+
+
+class TestStitchUpCorrectness:
+    def test_two_phase_same_tree(self):
+        query = three_way_query()
+        sources = make_sources()
+        expected = reference_spja(query, sources)
+        tree = JoinTree.left_deep(["r", "s", "t"])
+        rows, report = run_in_phases(query, sources, [tree, tree], [150, None])
+        assert_same_bag(rows, expected)
+        assert report.combinations_excluded == 2
+        assert report.reused_tuples > 0
+
+    def test_two_phase_different_trees(self):
+        query = three_way_query()
+        sources = make_sources()
+        expected = reference_spja(query, sources)
+        tree_a = JoinTree.left_deep(["r", "s", "t"])
+        tree_b = JoinTree.join(
+            JoinTree.leaf("r"), JoinTree.join(JoinTree.leaf("s"), JoinTree.leaf("t"))
+        )
+        rows, report = run_in_phases(query, sources, [tree_a, tree_b], [120, None])
+        assert_same_bag(rows, expected)
+        assert report.combinations_evaluated > 0
+
+    def test_three_phases(self):
+        query = three_way_query()
+        sources = make_sources(n=40)
+        expected = reference_spja(query, sources)
+        tree_a = JoinTree.left_deep(["r", "s", "t"])
+        tree_b = JoinTree.left_deep(["t", "s", "r"])
+        tree_c = JoinTree.join(
+            JoinTree.leaf("r"), JoinTree.join(JoinTree.leaf("s"), JoinTree.leaf("t"))
+        )
+        rows, report = run_in_phases(
+            query, sources, [tree_a, tree_b, tree_c], [60, 60, None]
+        )
+        assert_same_bag(rows, expected)
+        assert report.num_phases == 3
+        # 3^3 total combinations, 3 excluded (all-equal).
+        assert report.combinations_total == 27
+        assert report.combinations_excluded == 3
+
+    def test_two_relation_query(self):
+        query = SPJAQuery(
+            name="rs",
+            relations=("r", "s"),
+            join_predicates=(JoinPredicate("r", "rk", "s", "s_rk"),),
+        )
+        sources = {k: v for k, v in make_sources().items() if k in ("r", "s")}
+        expected = reference_spja(query, sources)
+        tree = JoinTree.left_deep(["r", "s"])
+        rows, report = run_in_phases(query, sources, [tree, tree], [40, None])
+        assert_same_bag(rows, expected)
+
+    def test_single_phase_needs_no_stitchup(self):
+        query = three_way_query()
+        sources = make_sources(n=30)
+        tree = JoinTree.left_deep(["r", "s", "t"])
+        rows, report = run_in_phases(query, sources, [tree], [None])
+        assert_same_bag(rows, reference_spja(query, sources))
+        assert report.combinations_total == 0
+        assert report.output_count == 0
+
+
+class TestStitchUpAccounting:
+    def test_report_fields_consistent(self):
+        query = three_way_query()
+        sources = make_sources()
+        tree = JoinTree.left_deep(["r", "s", "t"])
+        _rows, report = run_in_phases(query, sources, [tree, tree], [150, None])
+        assert (
+            report.combinations_total
+            == report.combinations_excluded
+            + report.combinations_skipped_empty
+            + report.combinations_evaluated
+        )
+        assert report.work_units > 0
+        assert report.simulated_seconds > 0
+        assert report.exclusion_list  # the all-equal vectors
+        as_dict = report.as_dict()
+        assert as_dict["reused_tuples"] == report.reused_tuples
+
+    def test_reused_plus_discarded_covers_registry(self):
+        query = three_way_query()
+        sources = make_sources()
+        tree = JoinTree.left_deep(["r", "s", "t"])
+        cursors = {name: SourceCursor(name, sources[name]) for name in query.relations}
+        registry = StateRegistry()
+        plan0 = PipelinedPlan(query, tree, cursors, lambda row: None, phase_id=0)
+        plan0.run(max_steps=150)
+        plan0.register_state(registry)
+        plan1 = PipelinedPlan(query, tree, cursors, lambda row: None, phase_id=1)
+        plan1.run()
+        plan1.register_state(registry)
+        stitchup = StitchUpExecutor(
+            query, registry, 2, plan0.output_schema, lambda row: None
+        )
+        report = stitchup.run()
+        assert (
+            report.reused_tuples + report.discarded_tuples
+            == registry.total_registered_tuples()
+        )
