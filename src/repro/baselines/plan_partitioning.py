@@ -75,12 +75,14 @@ class PlanPartitioningExecutor:
         cost_model: CostModel | None = None,
         materialize_after_joins: int = 3,
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
+        batch_size: int | None = None,
     ) -> None:
         self.catalog = catalog
         self.sources = dict(sources)
         self.cost_model = cost_model or CostModel()
         self.materialize_after_joins = materialize_after_joins
         self.default_cardinality = default_cardinality
+        self.batch_size = batch_size
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=True, default_cardinality=default_cardinality
         )
@@ -170,7 +172,9 @@ class PlanPartitioningExecutor:
             # Materialization point falls at (or beyond) the end of the query:
             # plan partitioning degenerates to static execution.
             tree = self.optimizer.optimize_tree(query)
-            executor = PipelinedExecutor(self.sources, self.cost_model)
+            executor = PipelinedExecutor(
+                self.sources, self.cost_model, batch_size=self.batch_size
+            )
             rows, plan = executor.execute(query, tree, clock=clock, metrics=metrics)
             return PlanPartitioningReport(
                 query_name=query.name,
@@ -188,7 +192,9 @@ class PlanPartitioningExecutor:
         # Stage 1: join the first few relations and materialize.
         stage1_query = self._stage1_query(query, stage1_relations)
         stage1_tree = self.optimizer.optimize_tree(stage1_query)
-        executor = PipelinedExecutor(self.sources, self.cost_model)
+        executor = PipelinedExecutor(
+            self.sources, self.cost_model, batch_size=self.batch_size
+        )
         stage1_rows, stage1_plan = executor.execute(
             stage1_query, stage1_tree, clock=clock, metrics=metrics
         )
@@ -221,7 +227,9 @@ class PlanPartitioningExecutor:
         stage2_tree = stage2_optimizer.optimize_tree(stage2_query)
         stage2_sources = dict(self.sources)
         stage2_sources[STAGE_RELATION_NAME] = stage1_relation
-        stage2_executor = PipelinedExecutor(stage2_sources, self.cost_model)
+        stage2_executor = PipelinedExecutor(
+            stage2_sources, self.cost_model, batch_size=self.batch_size
+        )
         rows, stage2_plan = stage2_executor.execute(
             stage2_query, stage2_tree, clock=clock, metrics=metrics
         )

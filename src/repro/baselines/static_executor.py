@@ -58,10 +58,12 @@ class StaticExecutor:
         cost_model: CostModel | None = None,
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         bushy: bool = True,
+        batch_size: int | None = None,
     ) -> None:
         self.catalog = catalog
         self.sources = dict(sources)
         self.cost_model = cost_model or CostModel()
+        self.batch_size = batch_size
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=bushy, default_cardinality=default_cardinality
         )
@@ -73,7 +75,9 @@ class StaticExecutor:
         tree = join_tree or self.optimizer.optimize_tree(query)
         metrics = ExecutionMetrics()
         clock = SimulatedClock(self.cost_model)
-        executor = PipelinedExecutor(self.sources, self.cost_model)
+        executor = PipelinedExecutor(
+            self.sources, self.cost_model, batch_size=self.batch_size
+        )
         wall_start = time.perf_counter()
         rows, plan = executor.execute(query, tree, clock=clock, metrics=metrics)
         wall_seconds = time.perf_counter() - wall_start

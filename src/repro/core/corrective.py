@@ -92,6 +92,7 @@ class CorrectiveQueryProcessor:
         max_phases: int = 8,
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         bushy: bool = True,
+        batch_size: int | None = None,
     ) -> None:
         """Parameters mirror the paper's experimental knobs.
 
@@ -99,7 +100,16 @@ class CorrectiveQueryProcessor:
         (the paper uses 1 s of wall-clock; here it is simulated seconds);
         ``switch_threshold`` is how much cheaper an alternative plan must be
         before the processor switches; ``max_phases`` bounds the number of
-        sequential plans (a safety valve, rarely reached).
+        sequential plans (a safety valve, rarely reached); ``batch_size``
+        selects batch-at-a-time execution (``None`` = tuple-at-a-time).
+        Monitor polls always land on the same tuple positions regardless of
+        batch size, so on immediately-available (local) sources — where the
+        simulated clock is a pure function of work done — adaptation
+        decisions, and therefore phase counts, are identical in both modes;
+        only the per-tuple overhead changes.  On delayed (remote) sources
+        the clock can drift slightly within a batch (waits and work charges
+        interleave differently), which in principle can shift clock-driven
+        poll timing; results are identical either way.
         """
         self.catalog = catalog
         self.sources = dict(sources)
@@ -109,6 +119,7 @@ class CorrectiveQueryProcessor:
         self.max_phases = max_phases
         self.default_cardinality = default_cardinality
         self.bushy = bushy
+        self.batch_size = batch_size
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=bushy, default_cardinality=default_cardinality
         )
@@ -132,9 +143,11 @@ class CorrectiveQueryProcessor:
 
         ``initial_tree`` overrides the optimizer's initial choice (useful for
         experiments that deliberately start from a bad plan).
-        ``poll_step_limit`` is the maximum number of execution steps between
+        ``poll_step_limit`` is the maximum number of source *tuples* between
         clock checks; it only bounds how coarsely the polling interval is
-        honoured, not the semantics.
+        honoured, not the semantics.  Batched execution clips its final batch
+        to this boundary, so clock checks — and the monitor observations they
+        trigger — happen at the same tuple positions for every batch size.
         """
         wall_start = time.perf_counter()
         metrics = ExecutionMetrics()
@@ -143,8 +156,12 @@ class CorrectiveQueryProcessor:
         monitor = ExecutionMonitor(query)
         phase_manager = PhaseManager()
 
+        prefetch = None
+        if self.batch_size is not None:
+            prefetch = max(self.batch_size, SourceCursor.DEFAULT_PREFETCH)
         cursors = {
-            name: SourceCursor(name, self.sources[name]) for name in query.relations
+            name: SourceCursor(name, self.sources[name], prefetch=prefetch)
+            for name in query.relations
         }
 
         current_tree = initial_tree or self.optimizer.optimize_tree(query)
@@ -156,7 +173,8 @@ class CorrectiveQueryProcessor:
         accumulator: GroupAccumulator | None = None
         collected: list[tuple] = []
 
-        def make_sink(plan: PipelinedPlan):
+        def attach_sinks(plan: PipelinedPlan) -> None:
+            """Point the plan's output (tuple and batch) at the shared group-by."""
             nonlocal canonical_schema, accumulator
             if canonical_schema is None:
                 canonical_schema = plan.output_schema
@@ -169,15 +187,27 @@ class CorrectiveQueryProcessor:
                         metrics=metrics,
                     )
             adapter = TupleAdapter(plan.output_schema, canonical_schema)
+            adapt = adapter.adapt
             if accumulator is not None:
-                if adapter.is_identity:
-                    return accumulator.accumulate
                 accumulate = accumulator.accumulate
-                return lambda row: accumulate(adapter.adapt(row))
-            if adapter.is_identity:
-                return collected.append
-            append = collected.append
-            return lambda row: append(adapter.adapt(row))
+                accumulate_batch = accumulator.accumulate_batch
+                if adapter.is_identity:
+                    plan.output_sink = accumulate
+                    plan.output_sink_batch = accumulate_batch
+                else:
+                    plan.output_sink = lambda row: accumulate(adapt(row))
+                    plan.output_sink_batch = lambda rows: accumulate_batch(
+                        [adapt(row) for row in rows]
+                    )
+            elif adapter.is_identity:
+                plan.output_sink = collected.append
+                plan.output_sink_batch = collected.extend
+            else:
+                append = collected.append
+                plan.output_sink = lambda row: append(adapt(row))
+                plan.output_sink_batch = lambda rows: collected.extend(
+                    [adapt(row) for row in rows]
+                )
 
         phase_id = 0
         while True:
@@ -190,8 +220,9 @@ class CorrectiveQueryProcessor:
                 metrics=metrics,
                 clock=clock,
                 cost_model=self.cost_model,
+                batch_size=self.batch_size,
             )
-            plan.output_sink = make_sink(plan)
+            attach_sinks(plan)
             record = phase_manager.start_phase(current_tree, clock.now)
             switch_reason = ""
 
@@ -199,7 +230,7 @@ class CorrectiveQueryProcessor:
                 next_poll = clock.now + self.polling_interval_seconds
                 progressed = False
                 while clock.now < next_poll:
-                    ran = plan.run(max_steps=poll_step_limit)
+                    ran = plan.run_chunk(poll_step_limit)
                     progressed = progressed or ran > 0
                     if plan.sources_exhausted:
                         break

@@ -27,6 +27,16 @@ class RouterPolicy:
     def __call__(self, row: tuple) -> int:
         raise NotImplementedError
 
+    def route_batch(self, rows: list[tuple]) -> list[int]:
+        """Route a whole batch; returns one target index per row.
+
+        The default simply applies :meth:`__call__` per row (so every policy
+        is batch-capable); stateless policies override it with a vectorized
+        computation.  Overrides must leave the policy in exactly the state a
+        row-at-a-time routing of the same batch would have left it.
+        """
+        return [self(row) for row in rows]
+
 
 @dataclass
 class RoundRobinRouter(RouterPolicy):
@@ -45,6 +55,16 @@ class RoundRobinRouter(RouterPolicy):
         self._count += 1
         return index
 
+    def route_batch(self, rows: list[tuple]) -> list[int]:
+        start = self._count
+        chunk_size = self.chunk_size
+        targets = self.targets
+        indices = [
+            ((start + offset) // chunk_size) % targets for offset in range(len(rows))
+        ]
+        self._count = start + len(rows)
+        return indices
+
 
 class HashPartitionRouter(RouterPolicy):
     """Routes by hash of a key attribute — value-disjoint parallel subplans."""
@@ -57,6 +77,11 @@ class HashPartitionRouter(RouterPolicy):
 
     def __call__(self, row: tuple) -> int:
         return hash(row[self._key_pos]) % self.targets
+
+    def route_batch(self, rows: list[tuple]) -> list[int]:
+        key_pos = self._key_pos
+        targets = self.targets
+        return [hash(row[key_pos]) % targets for row in rows]
 
 
 class OrderConformanceRouter(RouterPolicy):
@@ -88,6 +113,29 @@ class OrderConformanceRouter(RouterPolicy):
             return self.ORDERED
         self.unordered_count += 1
         return self.UNORDERED
+
+    def route_batch(self, rows: list[tuple]) -> list[int]:
+        """Batched routing with one tight loop; state updates are sequential
+        (conformance of row *i* depends on rows routed before it), so the
+        result — and every counter — matches row-at-a-time routing exactly."""
+        key_pos = self._key_pos
+        last = self._last_ordered_key
+        ordered = 0
+        indices = []
+        append = indices.append
+        for row in rows:
+            key = row[key_pos]
+            if last is None or key >= last:
+                last = key
+                ordered += 1
+                append(self.ORDERED)
+            else:
+                append(self.UNORDERED)
+        self.metrics.comparisons += len(rows)
+        self._last_ordered_key = last
+        self.ordered_count += ordered
+        self.unordered_count += len(rows) - ordered
+        return indices
 
     @property
     def ordered_fraction(self) -> float:

@@ -100,6 +100,46 @@ class GroupAccumulator:
         for row in rows:
             self.accumulate(row)
 
+    def accumulate_batch(self, rows: list[tuple]) -> None:
+        """Fold a whole batch with one tight loop per aggregate term.
+
+        Charges exactly the counters :meth:`accumulate` would charge, so
+        batched and tuple-at-a-time executions report identical work.
+        """
+        groups = self._groups
+        group_positions = self._group_positions
+        aggregates = self.aggregates
+        if self.input_is_partial:
+            merges = [agg.merge_partial for agg in aggregates]
+        else:
+            merges = [agg.merge_value for agg in aggregates]
+        count = 0
+        if len(aggregates) == 1:
+            # The common SPJA shape: a single aggregate term.
+            agg = aggregates[0]
+            merge = merges[0]
+            pos = self._value_positions[0]
+            for row in rows:
+                count += 1
+                key = tuple(row[p] for p in group_positions)
+                states = groups.get(key)
+                if states is None:
+                    groups[key] = states = [agg.initial_state()]
+                states[0] = merge(states[0], row[pos] if pos >= 0 else None)
+        else:
+            value_positions = self._value_positions
+            for row in rows:
+                count += 1
+                key = tuple(row[p] for p in group_positions)
+                states = groups.get(key)
+                if states is None:
+                    groups[key] = states = [agg.initial_state() for agg in aggregates]
+                for idx, merge in enumerate(merges):
+                    pos = value_positions[idx]
+                    states[idx] = merge(states[idx], row[pos] if pos >= 0 else None)
+        self.tuples_consumed += count
+        self.metrics.aggregate_updates += count * len(aggregates)
+
     @property
     def group_count(self) -> int:
         return len(self._groups)

@@ -37,6 +37,14 @@ class TupleQueue:
         self._items.append(row)
         self.total_enqueued += 1
 
+    def push_many(self, rows) -> None:
+        """Enqueue a whole batch (the batched split's fast path)."""
+        if self._closed:
+            raise QueueClosed(f"queue {self.name!r} is closed")
+        before = len(self._items)
+        self._items.extend(rows)
+        self.total_enqueued += len(self._items) - before
+
     def close(self) -> None:
         """Signal end of stream; further pushes raise :class:`QueueClosed`."""
         self._closed = True

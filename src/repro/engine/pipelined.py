@@ -17,6 +17,7 @@ can reuse them (Section 3.4).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -42,42 +43,122 @@ class SourceCursor:
     corrective query processing switches plans, the next phase simply resumes
     reading where the previous phase stopped.  Sources are accessed strictly
     sequentially (the data integration access model of Section 3.5).
+
+    Internally the cursor buffers one *prefetch chunk* ahead of the consumer
+    (``prefetch`` items, pulled via the source's ``open_stream_batches`` when
+    available) so that both ``peek_arrival``/``read`` and the batched
+    :meth:`read_batch` are cheap deque operations rather than generator
+    round-trips per tuple.
     """
 
-    def __init__(self, name: str, source) -> None:
+    DEFAULT_PREFETCH = 256
+
+    def __init__(self, name: str, source, prefetch: int | None = None) -> None:
         self.name = name
         self.schema: Schema = source.schema
-        self._iterator = self._open(source)
-        self._peeked: tuple[tuple, float] | None = None
+        self.prefetch = max(int(prefetch or self.DEFAULT_PREFETCH), 1)
+        self._chunks = self._open(source, self.prefetch)
+        self._buffer: deque[tuple[tuple, float]] = deque()
+        self._stream_done = False
         self.consumed = 0
         self.exhausted = False
 
     @staticmethod
-    def _open(source) -> Iterator[tuple[tuple, float]]:
+    def _open(source, prefetch: int) -> Iterator[list[tuple[tuple, float]]]:
+        from repro.sources.source import LocalSource
+
         if isinstance(source, Relation):
-            return ((row, 0.0) for row in source.rows)
-        return iter(source.open_stream())
+            source = LocalSource(source)
+        open_batches = getattr(source, "open_stream_batches", None)
+        if open_batches is not None:
+            return iter(open_batches(prefetch))
+
+        # Duck-typed sources exposing only open_stream(): chunk it here.
+        def stream_chunks():
+            batch = []
+            for item in source.open_stream():
+                batch.append(item)
+                if len(batch) >= prefetch:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+
+        return stream_chunks()
+
+    def _fill(self) -> bool:
+        """Pull the next prefetch chunk into the buffer; False at end of stream."""
+        if self._stream_done:
+            return False
+        try:
+            chunk = next(self._chunks)
+        except StopIteration:
+            self._stream_done = True
+            return False
+        self._buffer.extend(chunk)
+        return True
 
     def peek_arrival(self) -> float | None:
         """Arrival time of the next tuple, or ``None`` when exhausted."""
-        if self.exhausted:
-            return None
-        if self._peeked is None:
-            try:
-                self._peeked = next(self._iterator)
-            except StopIteration:
+        buffer = self._buffer
+        while not buffer:
+            if not self._fill():
                 self.exhausted = True
                 return None
-        return self._peeked[1]
+        return buffer[0][1]
 
     def read(self) -> tuple[tuple, float] | None:
         """Consume and return ``(row, arrival_time)``, or ``None`` at end."""
         if self.peek_arrival() is None:
             return None
-        item = self._peeked
-        self._peeked = None
+        item = self._buffer.popleft()
         self.consumed += 1
         return item
+
+    def read_batch(self, max_count: int) -> tuple[list[tuple], float | None]:
+        """Consume up to ``max_count`` tuples; return ``(rows, last_arrival)``.
+
+        Returns ``([], None)`` when the cursor is exhausted.  Used by the
+        batched engine when one source is the only remaining (or clearly
+        scheduled) input, so the whole run can be drained without per-tuple
+        bookkeeping.
+        """
+        if max_count < 1 or self.peek_arrival() is None:
+            return [], None
+        buffer = self._buffer
+        rows: list[tuple] = []
+        last_arrival: float | None = None
+        while len(rows) < max_count:
+            if not buffer and not self._fill():
+                break
+            take = min(max_count - len(rows), len(buffer))
+            for _ in range(take):
+                row, last_arrival = buffer.popleft()
+                rows.append(row)
+        self.consumed += len(rows)
+        return rows, last_arrival
+
+    def read_zero_batch(self, max_count: int) -> list[tuple]:
+        """Consume up to ``max_count`` tuples whose arrival time is 0.0.
+
+        Stops early at the first tuple that has a positive arrival time (per
+        source, arrival times are non-decreasing, so everything consumed is
+        guaranteed immediately available).  This is the bulk-read primitive
+        of the batched scheduler's local-source fast path.
+        """
+        rows: list[tuple] = []
+        buffer = self._buffer
+        done = False
+        while not done and len(rows) < max_count:
+            if not buffer and not self._fill():
+                break
+            while buffer and len(rows) < max_count:
+                if buffer[0][1] > 0.0:
+                    done = True
+                    break
+                rows.append(buffer.popleft()[0])
+        self.consumed += len(rows)
+        return rows
 
 
 class PipelinedJoinNode:
@@ -108,6 +189,7 @@ class PipelinedJoinNode:
         self.parent: "PipelinedJoinNode | None" = None
         self.parent_side: str | None = None
         self.sink: Callable[[tuple], None] | None = None
+        self.sink_batch: Callable[[list[tuple]], None] | None = None
         # Relations covered by each input (for registry signatures / monitor).
         self.left_relations: frozenset[str] = frozenset()
         self.right_relations: frozenset[str] = frozenset()
@@ -132,6 +214,57 @@ class PipelinedJoinNode:
             matches = self.left_state.probe(row[self._right_key_pos])
             for other in matches:
                 self._emit(other + row)
+
+    def push_batch(self, rows: list[tuple], side: str) -> None:
+        """Batched :meth:`push`: insert a whole single-side batch, probe the
+        other side in one tight loop, and propagate the combined batch upward.
+
+        Inserting the batch before probing is equivalent to interleaving,
+        because a batch only ever carries tuples for one side and probes read
+        the *other* side's table.  All metric counters are charged exactly as
+        the tuple-at-a-time path would charge them, so work accounting (and
+        the simulated clock on local sources) is identical.
+        """
+        if not rows:
+            return
+        metrics = self.metrics
+        count = len(rows)
+        metrics.hash_inserts += count
+        metrics.hash_probes += count
+        if side == "left":
+            self.left_state.insert_batch(rows)
+            get = self.right_state.bucket_map().get
+            key_pos = self._left_key_pos
+            combined = [
+                row + other for row in rows for other in get(row[key_pos], ())
+            ]
+        else:
+            self.right_state.insert_batch(rows)
+            get = self.left_state.bucket_map().get
+            key_pos = self._right_key_pos
+            combined = [
+                other + row for row in rows for other in get(row[key_pos], ())
+            ]
+        if not combined:
+            return
+        residual_fn = self._residual_fn
+        if residual_fn is not None:
+            metrics.predicate_evals += len(combined)
+            combined = [row for row in combined if residual_fn(row)]
+            if not combined:
+                return
+        metrics.tuple_copies += len(combined)
+        self.output_count += len(combined)
+        if self.parent is not None:
+            self.parent.push_batch(combined, self.parent_side)
+        elif self.sink_batch is not None:
+            metrics.tuples_output += len(combined)
+            self.sink_batch(combined)
+        elif self.sink is not None:
+            metrics.tuples_output += len(combined)
+            sink = self.sink
+            for row in combined:
+                sink(row)
 
     def _emit(self, combined: tuple) -> None:
         metrics = self.metrics
@@ -174,7 +307,18 @@ class PhaseStatistics:
 
 
 class PipelinedPlan:
-    """An instantiated push network for one ADP phase of an SPJA query."""
+    """An instantiated push network for one ADP phase of an SPJA query.
+
+    ``batch_size`` selects the execution granularity.  ``None`` (the default)
+    is the paper's tuple-at-a-time mode: one :meth:`step` reads one source
+    tuple and fully propagates it.  An integer enables batch-at-a-time mode:
+    one step (:meth:`step_batch`) reads up to ``batch_size`` source tuples —
+    **in exactly the order the tuple-at-a-time scheduler would have chosen
+    them** — and propagates them through the join network as whole batches.
+    Because a batch is always fully propagated before the step ends, the plan
+    is in a consistent state between steps, so suspension, monitoring and
+    corrective plan switching keep working, just at batch granularity.
+    """
 
     def __init__(
         self,
@@ -186,19 +330,25 @@ class PipelinedPlan:
         metrics: ExecutionMetrics | None = None,
         clock: SimulatedClock | None = None,
         cost_model: CostModel | None = None,
+        batch_size: int | None = None,
+        output_sink_batch: Callable[[list[tuple]], None] | None = None,
     ) -> None:
         if join_tree.relations() != frozenset(query.relations):
             raise PlanError(
                 f"join tree {join_tree} does not cover the relations of query {query.name}"
             )
+        if batch_size is not None and batch_size < 1:
+            raise PlanError(f"batch_size must be positive, got {batch_size}")
         self.query = query
         self.join_tree = join_tree
         self.cursors = cursors
         self.phase_id = phase_id
+        self.batch_size = batch_size
         self.metrics = metrics if metrics is not None else ExecutionMetrics()
         self.cost_model = cost_model or CostModel()
         self.clock = clock if clock is not None else SimulatedClock(self.cost_model)
         self.output_sink = output_sink
+        self.output_sink_batch = output_sink_batch
         self.output_count = 0
         self.leaves: dict[str, LeafBinding] = {}
         self.nodes: list[PipelinedJoinNode] = []
@@ -272,6 +422,7 @@ class PipelinedPlan:
         node.parent_side = parent_side
         if parent is None:
             node.sink = self._root_sink
+            node.sink_batch = self._root_sink_batch
         self.nodes.append(node)
 
         for child_tree, side in ((tree.left, "left"), (tree.right, "right")):
@@ -290,6 +441,15 @@ class PipelinedPlan:
     def _root_sink(self, row: tuple) -> None:
         self.output_count += 1
         self.output_sink(row)
+
+    def _root_sink_batch(self, rows: list[tuple]) -> None:
+        self.output_count += len(rows)
+        if self.output_sink_batch is not None:
+            self.output_sink_batch(rows)
+        else:
+            sink = self.output_sink
+            for row in rows:
+                sink(row)
 
     @property
     def output_schema(self) -> Schema:
@@ -349,6 +509,196 @@ class PipelinedPlan:
         self.statistics.tuples_read += 1
         return True
 
+    @staticmethod
+    def _zero_quotas(counts: list[int], budget: int) -> list[int]:
+        """How many tuples the least-consumed-first scheduler grants each of
+        several equally available (zero-arrival) sources out of ``budget``.
+
+        Water-filling: raise every count to a common level ``L``, then hand
+        the remainder one tuple each to the first eligible sources in leaf
+        order — exactly the counts the tuple-at-a-time tie-breaking rule
+        ("least consumed, then leaf order") produces.
+        """
+        low = min(counts)
+        high = low + budget
+        while low < high:
+            mid = (low + high + 1) // 2
+            if sum(mid - c for c in counts if c < mid) <= budget:
+                low = mid
+            else:
+                high = mid - 1
+        level = low
+        extra = budget - sum(level - c for c in counts if c < level)
+        quotas = []
+        for count in counts:
+            quota = level - count if count < level else 0
+            if extra > 0 and count <= level:
+                quota += 1
+                extra -= 1
+            quotas.append(quota)
+        return quotas
+
+    def _read_schedule(self, max_tuples: int) -> list[list]:
+        """Read up to ``max_tuples`` source tuples, grouped per leaf.
+
+        The batch consumes **exactly as many tuples from each source** as the
+        tuple-at-a-time scheduler (:meth:`_choose_cursor`) would consume in
+        ``max_tuples`` steps.  For a symmetric-hash-join network every
+        boundary observable — result multiset, per-leaf pass counts, node
+        output counts, work counters (and hence the simulated clock on
+        immediately-available sources) — depends only on those per-source
+        counts, not on the interleaving, so monitor observations and
+        re-optimizer decisions taken at chunk boundaries are identical for
+        every batch size.  Freed from replaying the exact interleaving, the
+        schedule coalesces each source's share into one contiguous per-leaf
+        run, which is what makes whole-batch propagation worthwhile.
+
+        Two regimes:
+
+        * *zero-arrival fast path* — while every live source's next tuple has
+          arrival 0.0 (local data), the scheduler's least-consumed-first
+          round-robin is computed arithmetically (:meth:`_zero_quotas`) and
+          each quota is drained with one bulk read;
+        * *arrival-driven loop* — otherwise tuples are picked one at a time
+          by (arrival, consumed) exactly like :meth:`_choose_cursor`, with
+          cached arrival keys and run extension while one source stays
+          strictly ahead.
+
+        Returns a list of ``[binding, rows, last_arrival]`` groups.
+        """
+        budget = max_tuples
+        pairs = [(binding, self.cursors[name]) for name, binding in self.leaves.items()]
+        groups: dict[str, list] = {}
+
+        def add_rows(binding: LeafBinding, rows: list[tuple], last_arrival: float) -> None:
+            group = groups.get(binding.relation)
+            if group is None:
+                groups[binding.relation] = [binding, rows, last_arrival]
+            else:
+                group[1].extend(rows)
+                if last_arrival > group[2]:
+                    group[2] = last_arrival
+
+        # -- zero-arrival fast path --------------------------------------------
+        while budget > 0:
+            zero_pairs = []
+            any_pending = False
+            for binding, cursor in pairs:
+                arrival = cursor.peek_arrival()
+                if arrival is None:
+                    continue
+                any_pending = True
+                if arrival <= 0.0:
+                    zero_pairs.append((binding, cursor))
+            if not zero_pairs:
+                break
+            quotas = self._zero_quotas(
+                [cursor.consumed for _, cursor in zero_pairs], budget
+            )
+            delivered = 0
+            for (binding, cursor), quota in zip(zero_pairs, quotas):
+                if quota <= 0:
+                    continue
+                rows = cursor.read_zero_batch(quota)
+                if rows:
+                    delivered += len(rows)
+                    add_rows(binding, rows, 0.0)
+            budget -= delivered
+            if delivered == 0:
+                break
+        if budget <= 0 or not any_pending:
+            return list(groups.values())
+
+        # -- arrival-driven loop -----------------------------------------------
+        entries = []
+        for binding, cursor in pairs:
+            arrival = cursor.peek_arrival()
+            if arrival is not None:
+                entries.append([arrival, cursor.consumed, binding, cursor])
+        while budget > 0 and entries:
+            best = entries[0]
+            second_key: tuple[float, int] | None = None
+            for entry in entries[1:]:
+                if entry[0] < best[0] or (entry[0] == best[0] and entry[1] < best[1]):
+                    second_key = (best[0], best[1])
+                    best = entry
+                elif second_key is None or (entry[0], entry[1]) < second_key:
+                    second_key = (entry[0], entry[1])
+            binding, cursor = best[2], best[3]
+            row, arrival = cursor.read()
+            rows = [row]
+            budget -= 1
+            if second_key is None:
+                # Only one live source left: drain it in bulk.
+                more, last_arrival = cursor.read_batch(budget)
+                if more:
+                    rows.extend(more)
+                    arrival = last_arrival
+                    budget -= len(more)
+            else:
+                # Extend the run while this cursor stays strictly ahead.
+                while budget > 0:
+                    next_arrival = cursor.peek_arrival()
+                    if next_arrival is None or (next_arrival, cursor.consumed) >= second_key:
+                        break
+                    row, arrival = cursor.read()
+                    rows.append(row)
+                    budget -= 1
+            add_rows(binding, rows, arrival)
+            next_arrival = cursor.peek_arrival()
+            if next_arrival is None:
+                entries.remove(best)
+            else:
+                best[0] = next_arrival
+                best[1] = cursor.consumed
+        return list(groups.values())
+
+    def step_batch(self, max_tuples: int | None = None) -> int:
+        """Read one batch of source tuples and fully propagate it.
+
+        Returns the number of source tuples consumed (0 when exhausted).  The
+        batch is capped at ``batch_size`` and, when given, at ``max_tuples``
+        (used by :meth:`run_chunk` to land on exact tuple boundaries).
+        """
+        limit = self.batch_size if self.batch_size is not None else 1
+        if max_tuples is not None and max_tuples < limit:
+            limit = max_tuples
+        if limit < 1:
+            return 0
+        groups = self._read_schedule(limit)
+        if not groups:
+            return 0
+        metrics = self.metrics
+        metrics.batches_read += 1
+        total = 0
+        for binding, rows, last_arrival in groups:
+            # Charge the work accrued so far (including earlier groups of this
+            # batch) before stalling on arrivals, narrowing the simulated-clock
+            # gap to tuple-at-a-time on delayed sources.  On local sources the
+            # waits are no-ops and the clock is bit-identical regardless.
+            self._sync_clock()
+            self.clock.wait_until(last_arrival)
+            count = len(rows)
+            total += count
+            metrics.tuples_read += count
+            binding.tuples_read += count
+            selection_fn = binding.selection_fn
+            if selection_fn is not None:
+                metrics.predicate_evals += count
+                rows = [row for row in rows if selection_fn(row)]
+                if not rows:
+                    continue
+            binding.tuples_passed += len(rows)
+            if binding.node is None:
+                # Single-relation query.
+                metrics.tuples_output += len(rows)
+                self._root_sink_batch(rows)
+            else:
+                binding.node.push_batch(rows, binding.side)
+        self.statistics.steps += 1
+        self.statistics.tuples_read += total
+        return total
+
     def _sync_clock(self) -> None:
         work = self.metrics.work(self.cost_model)
         delta = work - self._charged_work
@@ -357,15 +707,51 @@ class PipelinedPlan:
             self._charged_work = work
 
     def run(self, max_steps: int | None = None) -> int:
-        """Run until sources are exhausted or ``max_steps`` steps have run."""
+        """Run until sources are exhausted or ``max_steps`` steps have run.
+
+        In tuple-at-a-time mode a step is one source tuple; in batched mode a
+        step is one batch of up to ``batch_size`` tuples.
+        """
         steps = 0
-        while max_steps is None or steps < max_steps:
-            if not self.step():
-                break
-            steps += 1
+        if self.batch_size is None:
+            while max_steps is None or steps < max_steps:
+                if not self.step():
+                    break
+                steps += 1
+        else:
+            while max_steps is None or steps < max_steps:
+                if not self.step_batch():
+                    break
+                steps += 1
         self._sync_clock()
         self._finalize_statistics()
         return steps
+
+    def run_chunk(self, max_tuples: int) -> int:
+        """Process up to ``max_tuples`` source tuples; return how many ran.
+
+        Unlike :meth:`run`, the cap is expressed in *tuples* in both modes,
+        and the final batch is clipped so the chunk ends on exactly the
+        requested tuple boundary.  The corrective processor polls its monitor
+        at chunk boundaries, so plan-switch decisions are taken at identical
+        tuple positions regardless of batch size — which is what makes phase
+        counts comparable (and differential-testable) across batch sizes.
+        """
+        processed = 0
+        if self.batch_size is None:
+            while processed < max_tuples:
+                if not self.step():
+                    break
+                processed += 1
+        else:
+            while processed < max_tuples:
+                read = self.step_batch(max_tuples - processed)
+                if read == 0:
+                    break
+                processed += read
+        self._sync_clock()
+        self._finalize_statistics()
+        return processed
 
     def _finalize_statistics(self) -> None:
         self.statistics.outputs = self.output_count
@@ -439,11 +825,19 @@ class PipelinedExecutor:
 
     This is the *static* execution strategy — optimize once, run the chosen
     join tree with pipelined hash joins until the sources are exhausted.
+    ``batch_size=None`` keeps the paper's tuple-at-a-time granularity; an
+    integer runs the same plan batch-at-a-time.
     """
 
-    def __init__(self, sources: dict[str, object], cost_model: CostModel | None = None) -> None:
+    def __init__(
+        self,
+        sources: dict[str, object],
+        cost_model: CostModel | None = None,
+        batch_size: int | None = None,
+    ) -> None:
         self.sources = dict(sources)
         self.cost_model = cost_model or CostModel()
+        self.batch_size = batch_size
 
     def execute(
         self,
@@ -461,31 +855,40 @@ class PipelinedExecutor:
 
         metrics = metrics if metrics is not None else ExecutionMetrics()
         clock = clock if clock is not None else SimulatedClock(self.cost_model)
+        prefetch = None
+        if self.batch_size is not None:
+            prefetch = max(self.batch_size, SourceCursor.DEFAULT_PREFETCH)
         cursors = {
-            name: SourceCursor(name, self.sources[name]) for name in query.relations
+            name: SourceCursor(name, self.sources[name], prefetch=prefetch)
+            for name in query.relations
         }
         collected: list[tuple] = []
         accumulator: GroupAccumulator | None = None
 
+        plan = PipelinedPlan(
+            query,
+            join_tree,
+            cursors,
+            collected.append,
+            0,
+            metrics,
+            clock,
+            self.cost_model,
+            batch_size=self.batch_size,
+            output_sink_batch=collected.extend,
+        )
         if query.aggregation is not None:
             # The accumulator needs the join output schema, which depends on
-            # the tree; build a throwaway plan first to learn it.
-            probe_plan = PipelinedPlan(
-                query, join_tree, cursors, collected.append, 0, metrics, clock, self.cost_model
-            )
+            # the tree; the plan knows it once the network is built.
             accumulator = GroupAccumulator(
-                probe_plan.output_schema,
+                plan.output_schema,
                 query.aggregation.group_attributes,
                 query.aggregation.aggregates,
                 input_is_partial=False,
                 metrics=metrics,
             )
-            plan = probe_plan
             plan.output_sink = accumulator.accumulate
-        else:
-            plan = PipelinedPlan(
-                query, join_tree, cursors, collected.append, 0, metrics, clock, self.cost_model
-            )
+            plan.output_sink_batch = accumulator.accumulate_batch
 
         plan.run()
         if accumulator is not None:

@@ -38,8 +38,37 @@ class HashTableState(StateStructure):
             bucket.append(row)
         self._count += 1
 
+    def insert_batch(self, rows: list[tuple]) -> None:
+        """Insert many rows at once (the batched engine's hot path)."""
+        key_pos = self._key_pos
+        buckets = self._buckets
+        for row in rows:
+            key_value = row[key_pos]
+            bucket = buckets.get(key_value)
+            if bucket is None:
+                buckets[key_value] = [row]
+            else:
+                bucket.append(row)
+        self._count += len(rows)
+
     def probe(self, key_value: object) -> list[tuple]:
         return self._buckets.get(key_value, [])
+
+    def probe_batch(self, key_values) -> list[list[tuple]]:
+        """Probe many key values; returns one (possibly shared empty) bucket
+        per key.  Callers must not mutate the returned buckets."""
+        get = self._buckets.get
+        empty: list[tuple] = []
+        return [get(key_value, empty) for key_value in key_values]
+
+    def bucket_map(self) -> dict[object, list[tuple]]:
+        """Direct read-only view of the bucket dictionary.
+
+        Exposed for the batched join's tight probe loop, which calls
+        ``bucket_map().get`` directly to avoid a method call per tuple.
+        Callers must not mutate the returned mapping or its buckets.
+        """
+        return self._buckets
 
     def scan(self) -> Iterator[tuple]:
         for bucket in self._buckets.values():

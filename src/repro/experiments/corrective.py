@@ -104,8 +104,17 @@ def run_corrective_comparison(
     wireless: bool = False,
     forced_bad_start: bool = False,
     seed: int = DEFAULT_SEED,
+    batch_size: int | None = None,
 ) -> list[CorrectiveRunResult]:
-    """Run the Figure 2 (or Figure 3, with ``wireless=True``) comparison."""
+    """Run the Figure 2 (or Figure 3, with ``wireless=True``) comparison.
+
+    ``batch_size`` selects the engines' execution granularity (``None`` =
+    tuple-at-a-time).  Results are identical either way; simulated seconds
+    are bit-identical for the local experiments (Figure 2) and may drift by
+    ~1% for the wireless ones (Figure 3), where arrival waits and work
+    charges interleave differently within a batch.  Only the wall-clock cost
+    of regenerating the experiment changes materially.
+    """
     datasets = datasets or build_paper_datasets(scale_factor, seed)
     queries = paper_queries(query_names)
     results: list[CorrectiveRunResult] = []
@@ -144,6 +153,7 @@ def run_corrective_comparison(
                         sources,
                         polling_interval,
                         initial_tree,
+                        batch_size,
                     )
                 )
     return results
@@ -159,9 +169,12 @@ def _run_single(
     sources,
     polling_interval: float,
     initial_tree: JoinTree | None,
+    batch_size: int | None = None,
 ) -> CorrectiveRunResult:
     if strategy.startswith("static"):
-        report = StaticExecutor(catalog, sources).execute(query, join_tree=initial_tree)
+        report = StaticExecutor(catalog, sources, batch_size=batch_size).execute(
+            query, join_tree=initial_tree
+        )
         return CorrectiveRunResult(
             query_name=query_name,
             dataset=dataset_label,
@@ -173,7 +186,9 @@ def _run_single(
             details={"join_tree": str(report.join_tree)},
         )
     if strategy == "plan_partitioning":
-        report = PlanPartitioningExecutor(catalog, sources).execute(query)
+        report = PlanPartitioningExecutor(
+            catalog, sources, batch_size=batch_size
+        ).execute(query)
         return CorrectiveRunResult(
             query_name=query_name,
             dataset=dataset_label,
@@ -186,7 +201,10 @@ def _run_single(
         )
     # adaptive / adaptive_bad_plan
     processor = CorrectiveQueryProcessor(
-        catalog, sources, polling_interval_seconds=polling_interval
+        catalog,
+        sources,
+        polling_interval_seconds=polling_interval,
+        batch_size=batch_size,
     )
     report = processor.execute(query, initial_tree=initial_tree)
     return CorrectiveRunResult(

@@ -12,10 +12,15 @@ from repro.sources.source import DataSource
 class RemoteSource(DataSource):
     """A relation delivered over a (possibly slow, bursty) network connection.
 
-    Each :meth:`open_stream` call simulates a fresh connection: arrival times
-    are regenerated from the network model, so repeated accesses see the same
-    deterministic burst pattern (important for reproducible benchmarks) while
-    still modelling that the transfer has to happen again.
+    Each :meth:`open_stream` call simulates a fresh connection, but the
+    per-tuple arrival times are computed **once** per (source, network) pair
+    and cached in :attr:`arrival_schedule`.  Repeated opens within one
+    experiment — a corrective phase switch re-opening a source, or several
+    engine configurations executing over the same registered sources — must
+    observe byte-for-byte identical arrival times, otherwise the simulated
+    clocks of the compared engines skew apart.  (The network models are
+    deterministic per seed, so caching also avoids regenerating the schedule
+    on every access.)
     """
 
     def __init__(
@@ -27,11 +32,29 @@ class RemoteSource(DataSource):
         super().__init__(name or relation.name, relation.schema)
         self.relation = relation
         self.network = network or InstantNetworkModel()
+        self._arrival_schedule: tuple[float, ...] | None = None
+
+    @property
+    def arrival_schedule(self) -> tuple[float, ...]:
+        """Cached arrival time of every tuple of this source."""
+        if self._arrival_schedule is None:
+            self._arrival_schedule = tuple(
+                self.network.arrival_times(len(self.relation))
+            )
+        return self._arrival_schedule
 
     def open_stream(self) -> Iterator[tuple[tuple, float]]:
-        arrivals = self.network.arrival_times(len(self.relation))
-        for row, arrival in zip(self.relation.rows, arrivals):
-            yield row, arrival
+        return zip(self.relation.rows, self.arrival_schedule)
+
+    def open_stream_batches(self, batch_size: int) -> Iterator[list[tuple[tuple, float]]]:
+        """Batched reads: slice rows and the cached schedule chunk by chunk."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        rows = self.relation.rows
+        schedule = self.arrival_schedule
+        for start in range(0, len(rows), batch_size):
+            stop = start + batch_size
+            yield list(zip(rows[start:stop], schedule[start:stop]))
 
     def __len__(self) -> int:
         return len(self.relation)

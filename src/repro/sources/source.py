@@ -25,6 +25,25 @@ class DataSource:
     def open_stream(self) -> Iterator[tuple[tuple, float]]:
         raise NotImplementedError
 
+    def open_stream_batches(self, batch_size: int) -> Iterator[list[tuple[tuple, float]]]:
+        """Yield the stream in chunks of up to ``batch_size`` items.
+
+        This is the prefetch primitive of the batched execution mode: a
+        cursor pulls one chunk ahead instead of one tuple ahead.  The default
+        implementation chunks :meth:`open_stream`; sources whose data is
+        already materialized override it with direct slicing.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        batch: list[tuple[tuple, float]] = []
+        for item in self.open_stream():
+            batch.append(item)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"{type(self).__name__}({self.name!r})"
 
@@ -43,6 +62,13 @@ class LocalSource(DataSource):
     def open_stream(self) -> Iterator[tuple[tuple, float]]:
         for row in self.relation.rows:
             yield row, 0.0
+
+    def open_stream_batches(self, batch_size: int) -> Iterator[list[tuple[tuple, float]]]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        rows = self.relation.rows
+        for start in range(0, len(rows), batch_size):
+            yield [(row, 0.0) for row in rows[start : start + batch_size]]
 
     def __len__(self) -> int:
         return len(self.relation)

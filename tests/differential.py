@@ -1,0 +1,359 @@
+"""Differential testing harness for the execution engines.
+
+Generates seeded random SPJA queries over randomized relations and runs each
+one through every engine configuration:
+
+* a brute-force reference evaluation (``helpers.reference_spja``) — the
+  independent oracle;
+* the static executor (optimizer-chosen tree, tuple-at-a-time);
+* the pipelined engine, tuple-at-a-time, on a fixed join tree;
+* the batched pipelined engine on the same tree at several batch sizes;
+* the corrective query processor, tuple-at-a-time and batched, forced to
+  start from a deliberately poor plan so that multi-phase executions (and
+  therefore stitch-up and phase accounting) get exercised.
+
+Every configuration must produce the **identical multiset** of result rows,
+and — on local (immediately-available) sources — every corrective
+configuration must report the **identical number of corrective phases**.
+Phase-count equality across batch sizes is by construction there: batches
+consume the same per-source tuple counts at every poll boundary as
+tuple-at-a-time execution (see ``PipelinedPlan._read_schedule``), and on
+local sources the simulated clock that drives polling is a pure function of
+those counts.  On remote sources the clock can drift slightly within a
+batch (arrival waits and work charges interleave differently), so phase
+counts are recorded but not asserted equal; the result multisets still
+must match exactly.
+
+All aggregate input values are integers, so grouped sums compare exactly
+regardless of the order in which each engine folds them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from helpers import reference_spja
+
+from repro.baselines.static_executor import StaticExecutor
+from repro.core.corrective import CorrectiveQueryProcessor
+from repro.engine.pipelined import PipelinedExecutor
+from repro.optimizer.plans import JoinTree
+from repro.relational.algebra import AggregateSpec, SPJAQuery
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import (
+    Aggregate,
+    AttributeRef,
+    Comparison,
+    Constant,
+    JoinPredicate,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.network import BurstyNetworkModel
+from repro.sources.remote import RemoteSource
+
+#: Batch sizes every differential case is executed with (issue-mandated).
+BATCH_SIZES = (1, 7, 64, 1024)
+
+#: Re-optimization poll interval for the corrective runs.  Small enough that
+#: even the tiny randomized workloads get polled several times, so plan
+#: switches actually happen on a healthy fraction of the seeds.
+POLLING_INTERVAL = 0.002
+
+#: Tuples between clock checks (shared by every corrective configuration).
+POLL_STEP_LIMIT = 40
+
+
+@dataclass
+class DifferentialWorkload:
+    """One randomized database + query, plus how it should be served."""
+
+    seed: int
+    query: SPJAQuery
+    relations: dict[str, Relation]
+    remote: bool
+
+    def sources(self) -> dict[str, object]:
+        """Fresh source objects (remote ones get fresh deterministic links)."""
+        if not self.remote:
+            return dict(self.relations)
+        return {
+            name: RemoteSource(
+                relation,
+                BurstyNetworkModel(
+                    burst_rate=50_000.0,
+                    mean_burst_tuples=20,
+                    mean_gap_seconds=0.002,
+                    latency=0.001,
+                    seed=self.seed * 101 + index,
+                ),
+            )
+            for index, (name, relation) in enumerate(self.relations.items())
+        }
+
+    def catalog(self) -> Catalog:
+        """Schemas only — the "no statistics" data-integration situation."""
+        catalog = Catalog()
+        for name, relation in self.relations.items():
+            catalog.register(name, relation.schema)
+        return catalog
+
+
+def _random_relation_size(rng: random.Random) -> int:
+    roll = rng.random()
+    if roll < 0.06:
+        return 0  # empty source
+    if roll < 0.14:
+        return rng.randint(1, 3)  # nearly empty
+    return rng.randint(8, 90)
+
+
+def generate_workload(seed: int) -> DifferentialWorkload:
+    """Deterministically generate one randomized SPJA workload.
+
+    The join graph is a random spanning tree (relation ``i`` references a
+    random earlier relation through a foreign key with a small shared
+    domain, so joins actually match), occasionally thickened with an extra
+    equi-join predicate — which lands either on an existing join edge
+    (exercising residual predicates) or between two other relations
+    (exercising multi-predicate ``predicates_between`` splits).
+    """
+    rng = random.Random(seed)
+    num_relations = rng.choice((1, 2, 2, 3, 3, 3, 4, 4, 5))
+    domains = [rng.randint(4, 24) for _ in range(num_relations)]
+    sizes = [_random_relation_size(rng) for _ in range(num_relations)]
+    parents = [None] + [rng.randrange(i) for i in range(1, num_relations)]
+
+    # Extra equi-join predicates: (child, target) pairs beyond the tree.
+    extra_edges: list[tuple[int, int]] = []
+    if num_relations >= 2 and rng.random() < 0.40:
+        child = rng.randrange(1, num_relations)
+        if rng.random() < 0.5:
+            target = parents[child]  # doubles an existing edge -> residual
+        else:
+            target = rng.choice([j for j in range(num_relations) if j != child])
+        extra_edges.append((child, target))
+
+    relations: dict[str, Relation] = {}
+    join_predicates: list[JoinPredicate] = []
+    for i in range(num_relations):
+        name = f"r{i}"
+        attrs = [f"r{i}_pk"]
+        if parents[i] is not None:
+            attrs.append(f"r{i}_fk")
+        for child, target in extra_edges:
+            if child == i:
+                attrs.append(f"r{i}_x{target}")
+        attrs.extend([f"r{i}_val", f"r{i}_cat"])
+        schema = Schema.from_names(attrs, relation=name)
+        rows = []
+        for _ in range(sizes[i]):
+            row = [rng.randrange(domains[i])]
+            if parents[i] is not None:
+                row.append(rng.randrange(domains[parents[i]]))
+            for child, target in extra_edges:
+                if child == i:
+                    row.append(rng.randrange(domains[target]))
+            row.append(rng.randrange(500))
+            row.append(rng.randrange(6))
+            rows.append(tuple(row))
+        relations[name] = Relation(name, schema, rows)
+        if parents[i] is not None:
+            join_predicates.append(
+                JoinPredicate(name, f"r{i}_fk", f"r{parents[i]}", f"r{parents[i]}_pk")
+            )
+    for child, target in extra_edges:
+        join_predicates.append(
+            JoinPredicate(
+                f"r{child}", f"r{child}_x{target}", f"r{target}", f"r{target}_pk"
+            )
+        )
+
+    # Selections on up to two relations; occasionally unsatisfiable, so the
+    # empty-stream paths of every engine get differential coverage too.
+    selections = {}
+    for i in range(num_relations):
+        if rng.random() >= 0.45:
+            continue
+        if len(selections) == 2:
+            break
+        roll = rng.random()
+        if roll < 0.1:
+            predicate = Comparison(AttributeRef(f"r{i}_cat"), ">", Constant(99))
+        else:
+            op = rng.choice(("=", "<", ">=", "!="))
+            predicate = Comparison(
+                AttributeRef(f"r{i}_cat"), op, Constant(rng.randrange(6))
+            )
+        selections[f"r{i}"] = predicate
+
+    aggregation = None
+    if rng.random() < 0.5:
+        group_pool = [f"r{i}_cat" for i in range(num_relations)] + [
+            f"r{i}_pk" for i in range(num_relations)
+        ]
+        group_attrs = rng.sample(group_pool, rng.choice((1, 1, 2)))
+        aggregates = []
+        for index in range(rng.choice((1, 1, 2))):
+            function = rng.choice(("sum", "count", "min", "max"))
+            attribute = (
+                None
+                if function == "count"
+                else f"r{rng.randrange(num_relations)}_val"
+            )
+            aggregates.append(Aggregate(function, attribute, f"agg{index}"))
+        aggregation = AggregateSpec(tuple(group_attrs), tuple(aggregates))
+
+    query = SPJAQuery(
+        name=f"diff_{seed}",
+        relations=tuple(f"r{i}" for i in range(num_relations)),
+        join_predicates=tuple(join_predicates),
+        selections=selections,
+        aggregation=aggregation,
+    )
+    remote = rng.random() < 0.25
+    return DifferentialWorkload(seed, query, relations, remote)
+
+
+def _bad_initial_tree(workload: DifferentialWorkload) -> JoinTree:
+    """A deliberately poor left-deep order: largest relations first (kept
+    connected), so the corrective processor has something worth switching
+    away from."""
+    query = workload.query
+    order = sorted(query.relations, key=lambda name: -len(workload.relations[name]))
+    chosen = [order[0]]
+    remaining = [name for name in order[1:]]
+    while remaining:
+        for name in list(remaining):
+            if query.predicates_between(frozenset(chosen), frozenset((name,))):
+                chosen.append(name)
+                remaining.remove(name)
+                break
+        else:  # pragma: no cover - generated join graphs are connected
+            chosen.extend(remaining)
+            break
+    return JoinTree.left_deep(chosen)
+
+
+def _canonical_multiset(rows, schema_names, canonical_names) -> Counter:
+    """Multiset of rows with columns permuted into the canonical order.
+
+    Different join trees emit SPJ result tuples with the same values in
+    different column orders (each engine's layout follows its tree); since
+    attribute names are globally unique, permuting by name makes the
+    multisets directly comparable.
+    """
+    schema_names = tuple(schema_names)
+    canonical_names = tuple(canonical_names)
+    if schema_names == canonical_names:
+        return Counter(rows)
+    positions = [schema_names.index(name) for name in canonical_names]
+    return Counter(tuple(row[p] for p in positions) for row in rows)
+
+
+@dataclass
+class DifferentialResult:
+    """Everything a differential case produced, for assertions and reports."""
+
+    seed: int
+    workload: DifferentialWorkload
+    reference: Counter
+    row_multisets: dict[str, Counter] = field(default_factory=dict)
+    phase_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def uses_aggregation(self) -> bool:
+        return self.workload.query.aggregation is not None
+
+    @property
+    def max_phases(self) -> int:
+        return max(self.phase_counts.values(), default=0)
+
+
+def run_differential_case(seed: int) -> DifferentialResult:
+    """Run one seed through every engine configuration and compare."""
+    workload = generate_workload(seed)
+    query = workload.query
+    catalog = workload.catalog()
+    fixed_tree = JoinTree.left_deep(query.relations)
+    bad_tree = _bad_initial_tree(workload)
+
+    # Canonical column order: the reference evaluation's layout (relation
+    # schemas concatenated in query order for SPJ; group attributes plus
+    # aggregate aliases for aggregation queries, which every engine shares).
+    if query.aggregation is None:
+        canonical_names: list[str] = []
+        for name in query.relations:
+            canonical_names.extend(workload.relations[name].schema.names)
+    else:
+        canonical_names = list(query.aggregation.output_attributes)
+
+    result = DifferentialResult(
+        seed=seed,
+        workload=workload,
+        reference=Counter(reference_spja(query, workload.relations)),
+    )
+
+    static_report = StaticExecutor(catalog, workload.sources()).execute(query)
+    result.row_multisets["static"] = _canonical_multiset(
+        static_report.rows,
+        canonical_names
+        if static_report.schema is None
+        else static_report.schema.names,
+        canonical_names,
+    )
+
+    for label, batch_size in [("pipelined", None)] + [
+        (f"batched[{batch_size}]", batch_size) for batch_size in BATCH_SIZES
+    ]:
+        rows, plan = PipelinedExecutor(
+            workload.sources(), batch_size=batch_size
+        ).execute(query, fixed_tree)
+        names = (
+            canonical_names
+            if query.aggregation is not None
+            else plan.output_schema.names
+        )
+        result.row_multisets[label] = _canonical_multiset(
+            rows, names, canonical_names
+        )
+
+    for label, batch_size in [("corrective", None)] + [
+        (f"corrective[{batch_size}]", batch_size) for batch_size in BATCH_SIZES
+    ]:
+        report = CorrectiveQueryProcessor(
+            catalog,
+            workload.sources(),
+            polling_interval_seconds=POLLING_INTERVAL,
+            batch_size=batch_size,
+        ).execute(query, initial_tree=bad_tree, poll_step_limit=POLL_STEP_LIMIT)
+        result.row_multisets[label] = _canonical_multiset(
+            report.rows, report.schema.names, canonical_names
+        )
+        result.phase_counts[label] = report.num_phases
+
+    return result
+
+
+def assert_differential_case(result: DifferentialResult) -> None:
+    """Assert the equivalence contract for one differential case."""
+    for label, multiset in result.row_multisets.items():
+        assert multiset == result.reference, (
+            f"seed {result.seed}: engine {label!r} disagrees with the "
+            f"reference evaluation on query {result.workload.query.name} "
+            f"({len(multiset)} distinct rows vs {len(result.reference)}); "
+            f"query:\n{result.workload.query.describe()}"
+        )
+    assert all(count >= 1 for count in result.phase_counts.values())
+    if not result.workload.remote:
+        # Guaranteed by construction only on local sources, where the
+        # clock driving the corrective poll loop is a pure function of the
+        # (batch-size-invariant) per-source consumption counts.
+        phase_counts = set(result.phase_counts.values())
+        assert len(phase_counts) <= 1, (
+            f"seed {result.seed}: corrective phase counts diverge across "
+            f"batch sizes: {result.phase_counts} for query "
+            f"{result.workload.query.name}"
+        )

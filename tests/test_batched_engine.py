@@ -1,0 +1,397 @@
+"""Unit tests for the batch-at-a-time execution primitives.
+
+The differential harness (``test_differential_batched.py``) proves end-to-end
+equivalence; these tests pin down the individual batched building blocks —
+cursors, hash state, join nodes, split/router batching, the water-filling
+scheduler — including their *counter* equivalence, which the simulated-clock
+comparability of the two modes rests on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.cost import ExecutionMetrics
+from repro.engine.operators.queue import TupleQueue
+from repro.engine.operators.split import Split
+from repro.engine.operators.aggregate import GroupAccumulator
+from repro.engine.pipelined import PipelinedJoinNode, PipelinedPlan, SourceCursor
+from repro.engine.state.hash_table import HashTableState
+from repro.core.router import (
+    CallbackRouter,
+    HashPartitionRouter,
+    OrderConformanceRouter,
+    RoundRobinRouter,
+)
+from repro.optimizer.plans import PlanError
+from repro.relational.expressions import Aggregate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.network import ConstantRateNetworkModel, NetworkModel
+from repro.sources.remote import RemoteSource
+from repro.sources.source import LocalSource
+
+
+class TestSourceCursorBatching:
+    def test_read_batch_drains_in_order(self, people):
+        cursor = SourceCursor("people", people, prefetch=2)
+        rows, last_arrival = cursor.read_batch(3)
+        assert rows == people.rows[:3]
+        assert last_arrival == 0.0
+        assert cursor.consumed == 3
+        rows, _ = cursor.read_batch(100)
+        assert rows == people.rows[3:]
+        assert cursor.read_batch(5) == ([], None)
+        assert cursor.exhausted
+
+    def test_read_batch_interleaves_with_single_reads(self, people):
+        cursor = SourceCursor("people", people, prefetch=3)
+        first = cursor.read()
+        rows, _ = cursor.read_batch(2)
+        assert first[0] == people.rows[0]
+        assert rows == people.rows[1:3]
+        assert cursor.peek_arrival() == 0.0
+        assert cursor.consumed == 3
+
+    def test_read_zero_batch_stops_at_positive_arrival(self, people):
+        source = RemoteSource(people, ConstantRateNetworkModel(2.0, latency=0.0))
+        # Arrivals: 0.0, 0.5, 1.0, ... -> only the first tuple is "free".
+        cursor = SourceCursor("people", source)
+        assert cursor.read_zero_batch(10) == [people.rows[0]]
+        assert cursor.consumed == 1
+        # The positive-arrival tuple is still there, untouched.
+        assert cursor.peek_arrival() == pytest.approx(0.5)
+
+    def test_read_zero_batch_respects_quota(self, people):
+        cursor = SourceCursor("people", people, prefetch=2)
+        assert cursor.read_zero_batch(2) == people.rows[:2]
+        assert cursor.read_zero_batch(100) == people.rows[2:]
+        assert cursor.read_zero_batch(1) == []
+
+    def test_empty_relation(self, people_schema):
+        empty = Relation("nobody", people_schema, [])
+        cursor = SourceCursor("nobody", empty)
+        assert cursor.peek_arrival() is None
+        assert cursor.read() is None
+        assert cursor.read_batch(4) == ([], None)
+        assert cursor.exhausted and cursor.consumed == 0
+
+
+class TestHashTableBatching:
+    def _table(self):
+        schema = Schema.from_names(["k", "v"])
+        return HashTableState(schema, "k")
+
+    def test_insert_batch_matches_sequential_inserts(self):
+        rows = [(i % 3, i) for i in range(10)]
+        batched, sequential = self._table(), self._table()
+        batched.insert_batch(rows)
+        for row in rows:
+            sequential.insert(row)
+        assert len(batched) == len(sequential) == 10
+        assert sorted(batched.scan()) == sorted(sequential.scan())
+        for key in (0, 1, 2, 99):
+            assert batched.probe(key) == sequential.probe(key)
+
+    def test_probe_batch(self):
+        table = self._table()
+        table.insert_batch([(1, "a"), (1, "b"), (2, "c")])
+        buckets = table.probe_batch([1, 2, 7])
+        assert buckets[0] == [(1, "a"), (1, "b")]
+        assert buckets[1] == [(2, "c")]
+        assert buckets[2] == []
+
+    def test_bucket_map_is_live_view(self):
+        table = self._table()
+        table.insert((5, "x"))
+        assert table.bucket_map()[5] == [(5, "x")]
+
+
+class TestJoinNodeBatching:
+    def _node(self, metrics):
+        left = Schema.from_names(["a", "x"])
+        right = Schema.from_names(["b", "y"])
+        return PipelinedJoinNode(left, right, "a", "b", None, metrics)
+
+    def test_push_batch_matches_push(self):
+        left_rows = [(i % 4, f"l{i}") for i in range(12)]
+        right_rows = [(i % 4, f"r{i}") for i in range(8)]
+
+        tuple_metrics = ExecutionMetrics()
+        tuple_node = self._node(tuple_metrics)
+        tuple_out = []
+        tuple_node.sink = tuple_out.append
+        for row in left_rows:
+            tuple_node.push(row, "left")
+        for row in right_rows:
+            tuple_node.push(row, "right")
+
+        batch_metrics = ExecutionMetrics()
+        batch_node = self._node(batch_metrics)
+        batch_out = []
+        batch_node.sink_batch = batch_out.extend
+        batch_node.push_batch(left_rows, "left")
+        batch_node.push_batch(right_rows, "right")
+
+        assert sorted(batch_out) == sorted(tuple_out)
+        assert batch_node.output_count == tuple_node.output_count
+        assert batch_metrics.as_dict() == tuple_metrics.as_dict()
+
+    def test_push_batch_intra_batch_probes_do_not_self_match(self):
+        # A single-side batch must never join against itself.
+        metrics = ExecutionMetrics()
+        node = self._node(metrics)
+        out = []
+        node.sink_batch = out.extend
+        node.push_batch([(1, "l1"), (1, "l2")], "left")
+        assert out == []
+        node.push_batch([(1, "r1")], "right")
+        assert sorted(out) == [(1, "l1", 1, "r1"), (1, "l2", 1, "r1")]
+
+    def test_empty_batch_is_free(self):
+        metrics = ExecutionMetrics()
+        node = self._node(metrics)
+        node.push_batch([], "left")
+        assert metrics.as_dict() == ExecutionMetrics().as_dict()
+
+
+class TestZeroQuotas:
+    def _simulate(self, counts, budget):
+        """Naive least-consumed-first simulation (ties: list order)."""
+        counts = list(counts)
+        taken = [0] * len(counts)
+        for _ in range(budget):
+            best = min(range(len(counts)), key=lambda i: (counts[i], i))
+            counts[best] += 1
+            taken[best] += 1
+        return taken
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_naive_simulation(self, seed):
+        rng = random.Random(seed)
+        counts = [rng.randrange(50) for _ in range(rng.randint(1, 6))]
+        budget = rng.randrange(1, 120)
+        assert PipelinedPlan._zero_quotas(counts, budget) == self._simulate(
+            counts, budget
+        )
+
+    def test_exact_budget_distribution(self):
+        quotas = PipelinedPlan._zero_quotas([5, 0, 3], 7)
+        assert sum(quotas) == 7
+        assert quotas == self._simulate([5, 0, 3], 7)
+
+
+class TestSplitBatching:
+    def _queues(self, n):
+        return [TupleQueue(f"q{n_}") for n_ in range(n)]
+
+    def test_push_batch_round_robin(self):
+        schema = Schema.from_names(["v"])
+        queues = self._queues(2)
+        metrics = ExecutionMetrics()
+        split = Split(schema, queues, RoundRobinRouter(targets=2), metrics)
+        rows = [(i,) for i in range(7)]
+        indices = split.push_batch(rows)
+        assert indices == [0, 1, 0, 1, 0, 1, 0]
+        assert list(queues[0].drain()) == [(0,), (2,), (4,), (6,)]
+        assert list(queues[1].drain()) == [(1,), (3,), (5,)]
+        assert split.distribution() == {0: 4, 1: 3}
+        assert metrics.tuple_copies == 7
+
+    def test_push_batch_matches_push_for_stateful_router(self):
+        schema = Schema.from_names(["v"])
+        rows = [(3,), (1,), (4,), (1,), (5,), (2,), (6,)]
+
+        tuple_queues = self._queues(2)
+        tuple_router = OrderConformanceRouter(schema, "v")
+        tuple_split = Split(schema, tuple_queues, tuple_router)
+        for row in rows:
+            tuple_split.push(row)
+
+        batch_queues = self._queues(2)
+        batch_router = OrderConformanceRouter(schema, "v")
+        batch_split = Split(schema, batch_queues, batch_router)
+        batch_split.push_batch(rows)
+
+        assert [list(q.drain()) for q in batch_queues] == [
+            list(q.drain()) for q in tuple_queues
+        ]
+        assert batch_router.ordered_count == tuple_router.ordered_count
+        assert batch_router.unordered_count == tuple_router.unordered_count
+        assert batch_router.metrics.comparisons == tuple_router.metrics.comparisons
+        assert batch_split.distribution() == tuple_split.distribution()
+
+    def test_push_batch_default_router_path(self):
+        schema = Schema.from_names(["v"])
+        queues = self._queues(3)
+        split = Split(schema, queues, CallbackRouter(fn=lambda row: row[0] % 3))
+        split.push_batch([(0,), (1,), (2,), (4,)])
+        assert split.distribution() == {0: 1, 1: 2, 2: 1}
+
+    def test_push_batch_rejects_bad_index(self):
+        schema = Schema.from_names(["v"])
+        split = Split(schema, self._queues(1), CallbackRouter(fn=lambda row: 5))
+        with pytest.raises(IndexError):
+            split.push_batch([(1,)])
+
+    def test_empty_batch(self):
+        schema = Schema.from_names(["v"])
+        split = Split(schema, self._queues(1), RoundRobinRouter(targets=1))
+        assert split.push_batch([]) == []
+
+
+class TestRouterBatchEquivalence:
+    def test_round_robin_route_batch_preserves_state(self):
+        tuple_router = RoundRobinRouter(targets=3, chunk_size=2)
+        batch_router = RoundRobinRouter(targets=3, chunk_size=2)
+        rows = [(i,) for i in range(11)]
+        assert batch_router.route_batch(rows) == [tuple_router(r) for r in rows]
+        # Both should continue identically after the batch.
+        assert batch_router((99,)) == tuple_router((99,))
+
+    def test_hash_partition_route_batch(self):
+        schema = Schema.from_names(["k"])
+        router = HashPartitionRouter(schema, "k", 4)
+        rows = [(i,) for i in range(20)]
+        assert router.route_batch(rows) == [router(r) for r in rows]
+
+
+class TestTupleQueueBatch:
+    def test_push_many(self):
+        queue = TupleQueue("q")
+        queue.push_many([(1,), (2,)])
+        queue.push((3,))
+        assert queue.total_enqueued == 3
+        assert list(queue.drain()) == [(1,), (2,), (3,)]
+
+    def test_push_many_after_close_raises(self):
+        queue = TupleQueue("q")
+        queue.close()
+        with pytest.raises(Exception):
+            queue.push_many([(1,)])
+
+
+class TestGroupAccumulatorBatch:
+    def _accumulators(self, aggregates):
+        schema = Schema.from_names(["g", "v"])
+        return (
+            GroupAccumulator(schema, ("g",), aggregates, metrics=ExecutionMetrics()),
+            GroupAccumulator(schema, ("g",), aggregates, metrics=ExecutionMetrics()),
+        )
+
+    @pytest.mark.parametrize(
+        "aggregates",
+        [
+            (Aggregate("sum", "v", "s"),),
+            (Aggregate("count", None, "c"),),
+            (Aggregate("sum", "v", "s"), Aggregate("max", "v", "m")),
+        ],
+    )
+    def test_accumulate_batch_matches_accumulate(self, aggregates):
+        rows = [(i % 3, i * 10) for i in range(11)]
+        tuple_acc, batch_acc = self._accumulators(aggregates)
+        for row in rows:
+            tuple_acc.accumulate(row)
+        batch_acc.accumulate_batch(rows)
+        assert sorted(batch_acc.results()) == sorted(tuple_acc.results())
+        assert batch_acc.tuples_consumed == tuple_acc.tuples_consumed
+        assert (
+            batch_acc.metrics.aggregate_updates == tuple_acc.metrics.aggregate_updates
+        )
+
+
+class TestRemoteSourceScheduleCache:
+    class CountingNetwork(NetworkModel):
+        def __init__(self):
+            self.calls = 0
+
+        def arrival_times(self, tuple_count):
+            self.calls += 1
+            for i in range(tuple_count):
+                yield i * 0.125
+
+    def test_schedule_computed_once_across_opens(self, people):
+        network = self.CountingNetwork()
+        source = RemoteSource(people, network)
+        first = [arrival for _, arrival in source.open_stream()]
+        second = [arrival for _, arrival in source.open_stream()]
+        batched = [
+            arrival
+            for chunk in source.open_stream_batches(2)
+            for _, arrival in chunk
+        ]
+        assert first == second == batched
+        assert network.calls == 1, "arrival schedule must be cached per source"
+
+    def test_with_network_gets_fresh_schedule(self, people):
+        first_net, second_net = self.CountingNetwork(), self.CountingNetwork()
+        source = RemoteSource(people, first_net)
+        source.arrival_schedule
+        copy = source.with_network(second_net)
+        copy.arrival_schedule
+        assert first_net.calls == 1 and second_net.calls == 1
+
+    def test_batched_and_streamed_reads_agree(self, people):
+        source = RemoteSource(people, ConstantRateNetworkModel(8.0))
+        streamed = list(source.open_stream())
+        chunks = list(source.open_stream_batches(2))
+        assert [item for chunk in chunks for item in chunk] == streamed
+        assert all(len(chunk) <= 2 for chunk in chunks)
+
+
+class TestIntegrationSystemBatchKnob:
+    @pytest.mark.parametrize("strategy", ["static", "corrective", "plan_partitioning"])
+    def test_batch_size_threads_through_every_strategy(
+        self, strategy, people, simple_orders
+    ):
+        from repro.integration.system import AdaptiveIntegrationSystem
+        from repro.relational.algebra import SPJAQuery
+        from repro.relational.expressions import JoinPredicate
+
+        query = SPJAQuery(
+            name="po",
+            relations=("people", "simple_orders"),
+            join_predicates=(
+                JoinPredicate("people", "pid", "simple_orders", "o_pid"),
+            ),
+        )
+
+        def build():
+            system = AdaptiveIntegrationSystem()
+            system.register_source(people)
+            system.register_source(simple_orders)
+            return system
+
+        tuple_answer = build().execute(query, strategy=strategy)
+        batched_answer = build().execute(query, strategy=strategy, batch_size=16)
+        assert sorted(batched_answer.rows) == sorted(tuple_answer.rows)
+        assert batched_answer.simulated_seconds == pytest.approx(
+            tuple_answer.simulated_seconds
+        )
+
+
+class TestValidation:
+    def test_plan_rejects_non_positive_batch_size(self, people):
+        from repro.relational.algebra import SPJAQuery
+        from repro.optimizer.plans import JoinTree
+
+        query = SPJAQuery("one", ("people",), ())
+        cursors = {"people": SourceCursor("people", people)}
+        with pytest.raises(PlanError):
+            PipelinedPlan(
+                query,
+                JoinTree.leaf("people"),
+                cursors,
+                lambda row: None,
+                batch_size=0,
+            )
+
+    def test_open_stream_batches_rejects_bad_batch_size(self, people):
+        source = LocalSource(people)
+        with pytest.raises(ValueError):
+            list(source.open_stream_batches(0))
+        remote = RemoteSource(people)
+        with pytest.raises(ValueError):
+            list(remote.open_stream_batches(-1))
