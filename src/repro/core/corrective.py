@@ -25,10 +25,28 @@ from repro.engine.state.registry import StateRegistry
 from repro.optimizer.enumerator import Optimizer
 from repro.optimizer.plans import JoinTree
 from repro.optimizer.reoptimizer import ReOptimizer
+from repro.optimizer.statistics import ObservedStatistics
 from repro.relational.algebra import SPJAQuery
 from repro.relational.catalog import Catalog, DEFAULT_ASSUMED_CARDINALITY
 from repro.relational.schema import Schema
 from repro.relational.tuples import TupleAdapter
+
+
+@dataclass
+class CorrectiveTick:
+    """One cooperative-scheduling step of an incremental corrective run.
+
+    Yielded by :meth:`CorrectiveQueryProcessor.execute_incremental` after the
+    plan for a phase is built (``tuples_processed == 0``) and after every
+    chunk of source tuples.  A multi-query scheduler uses ``next_arrival`` to
+    decide whether granting this query another quantum would stall the shared
+    clock, and ``consumed`` to estimate how much work remains.
+    """
+
+    phase_id: int
+    tuples_processed: int
+    next_arrival: float | None
+    consumed: dict[str, int]
 
 
 @dataclass
@@ -149,11 +167,59 @@ class CorrectiveQueryProcessor:
         to this boundary, so clock checks — and the monitor observations they
         trigger — happen at the same tuple positions for every batch size.
         """
+        runner = self.execute_incremental(
+            query, initial_tree=initial_tree, poll_step_limit=poll_step_limit
+        )
+        while True:
+            try:
+                next(runner)
+            except StopIteration as stop:
+                return stop.value
+
+    def execute_incremental(
+        self,
+        query: SPJAQuery,
+        initial_tree: JoinTree | None = None,
+        poll_step_limit: int = 200,
+        clock: SimulatedClock | None = None,
+        seed_statistics: ObservedStatistics | None = None,
+        cooperative: bool = False,
+    ):
+        """Generator form of :meth:`execute` for cooperative multi-query serving.
+
+        Yields a :class:`CorrectiveTick` after the plan for each phase is
+        built and after every chunk of up to ``poll_step_limit`` source
+        tuples, so a scheduler can interleave several queries' executions on
+        one shared ``clock`` (pass the shared :class:`SimulatedClock`; by
+        default a private clock is created and the run is identical to
+        :meth:`execute`).  The final report is the generator's return value
+        (``StopIteration.value``).
+
+        ``seed_statistics`` pre-populates the execution monitor with
+        observations learned elsewhere — e.g. subexpression selectivities and
+        multiplicative-join flags from a cross-query statistics cache — so
+        the very first re-optimization poll already has priors.  The
+        monitor's own observations overwrite seeded values as data flows.
+
+        ``cooperative=True`` makes every chunk stop at the first source tuple
+        that has not yet arrived (see ``PipelinedPlan.run_chunk``'s
+        ``horizon``) and *yield* instead of stalling the shared clock, so the
+        scheduler can overlap this query's I/O waits with other queries'
+        work; the driver must then only resume the generator once progress
+        is possible (the tick's ``next_arrival`` has been reached), as
+        :class:`~repro.serving.server.QueryServer` does.  The default
+        (blocking) mode stalls the private clock exactly like :meth:`execute`.
+        """
         wall_start = time.perf_counter()
         metrics = ExecutionMetrics()
-        clock = SimulatedClock(self.cost_model)
+        clock = clock if clock is not None else SimulatedClock(self.cost_model)
+        started_simulated = clock.now
+        own_wait_seconds = 0.0
+        wait_mark = clock.wait_time
         registry = StateRegistry()
         monitor = ExecutionMonitor(query)
+        if seed_statistics is not None:
+            monitor.observed.merge(seed_statistics)
         phase_manager = PhaseManager()
 
         prefetch = None
@@ -225,16 +291,41 @@ class CorrectiveQueryProcessor:
             attach_sinks(plan)
             record = phase_manager.start_phase(current_tree, clock.now)
             switch_reason = ""
+            own_wait_seconds += clock.wait_time - wait_mark
+            yield CorrectiveTick(
+                phase_id, 0, plan.next_arrival(), plan.consumed_counts()
+            )
+            wait_mark = clock.wait_time
 
             while True:
                 next_poll = clock.now + self.polling_interval_seconds
                 progressed = False
                 while clock.now < next_poll:
-                    ran = plan.run_chunk(poll_step_limit)
+                    horizon = clock.now if cooperative else None
+                    ran = plan.run_chunk(poll_step_limit, horizon=horizon)
                     progressed = progressed or ran > 0
+                    if ran > 0:
+                        own_wait_seconds += clock.wait_time - wait_mark
+                        yield CorrectiveTick(
+                            phase_id, ran, plan.next_arrival(), plan.consumed_counts()
+                        )
+                        wait_mark = clock.wait_time
                     if plan.sources_exhausted:
                         break
                     if ran == 0:
+                        if cooperative and plan.next_arrival() is not None:
+                            # Blocked on a future arrival: hand control back
+                            # so the scheduler can run other sessions (or
+                            # advance the shared clock) instead of stalling.
+                            own_wait_seconds += clock.wait_time - wait_mark
+                            yield CorrectiveTick(
+                                phase_id,
+                                0,
+                                plan.next_arrival(),
+                                plan.consumed_counts(),
+                            )
+                            wait_mark = clock.wait_time
+                            continue
                         break
                 if plan.sources_exhausted:
                     break
@@ -247,7 +338,13 @@ class CorrectiveQueryProcessor:
                     )
                     current_tree = decision.recommended_tree
                     break
-                if not progressed:
+                if not progressed and not (
+                    cooperative and plan.next_arrival() is not None
+                ):
+                    # In blocking mode a windowful of zero progress means the
+                    # phase is over; in cooperative mode it merely means the
+                    # whole window passed while waiting on arrivals, and the
+                    # phase must survive to consume them.
                     break
 
             stats = plan.finish_phase()
@@ -294,6 +391,7 @@ class CorrectiveQueryProcessor:
             schema = canonical_schema if canonical_schema is not None else Schema(())
 
         wall_seconds = time.perf_counter() - wall_start
+        own_wait_seconds += clock.wait_time - wait_mark
         return CorrectiveExecutionReport(
             query_name=query.name,
             rows=rows,
@@ -301,12 +399,21 @@ class CorrectiveQueryProcessor:
             phases=list(phase_manager.records),
             stitchup=stitchup_report,
             metrics=metrics,
-            simulated_seconds=clock.now,
+            # On a shared serving clock these are this query's own share:
+            # elapsed simulated time while in flight, and only the arrival
+            # waits incurred inside this generator's own execution segments.
+            # On a private clock (solo execute()) they equal the clock's
+            # absolute now / wait_time exactly as before.
+            simulated_seconds=clock.now - started_simulated,
             wall_seconds=wall_seconds,
-            wait_seconds=clock.wait_time,
+            wait_seconds=own_wait_seconds,
             reoptimizer_polls=self.reoptimizer.invocations,
             details={
                 "registry": registry.describe(),
                 "monitor_polls": monitor.poll_count(),
+                # The accumulated runtime observations, for cross-query
+                # statistics sharing by the serving layer.
+                "observed_statistics": monitor.observed,
+                "seeded_statistics": seed_statistics is not None,
             },
         )

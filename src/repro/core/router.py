@@ -174,13 +174,19 @@ class PriorityQueueReorderer:
         """Add a tuple; return the tuples released (possibly empty)."""
         key = row[self._key_pos]
         # The sequence number breaks ties so heapq never compares payload rows.
-        heapq.heappush(self._heap, (key, self._sequence, row))
+        entry = (key, self._sequence, row)
         self._sequence += 1
         self.metrics.comparisons += 1
-        self.buffered_high_water = max(self.buffered_high_water, len(self._heap))
-        if len(self._heap) > self.capacity:
+        if len(self._heap) >= self.capacity:
+            # Full: the smallest of (buffered + incoming) is released, so the
+            # buffer holds exactly ``capacity`` tuples — the paper's Section 5
+            # queue size — never ``capacity + 1``.
             self.metrics.comparisons += 1
-            return [heapq.heappop(self._heap)[2]]
+            released = heapq.heappushpop(self._heap, entry)
+            self.buffered_high_water = max(self.buffered_high_water, len(self._heap))
+            return [released[2]]
+        heapq.heappush(self._heap, entry)
+        self.buffered_high_water = max(self.buffered_high_water, len(self._heap))
         return []
 
     def drain(self) -> list[tuple]:

@@ -538,7 +538,9 @@ class PipelinedPlan:
             quotas.append(quota)
         return quotas
 
-    def _read_schedule(self, max_tuples: int) -> list[list]:
+    def _read_schedule(
+        self, max_tuples: int, horizon: float | None = None
+    ) -> list[list]:
         """Read up to ``max_tuples`` source tuples, grouped per leaf.
 
         The batch consumes **exactly as many tuples from each source** as the
@@ -563,6 +565,12 @@ class PipelinedPlan:
           by (arrival, consumed) exactly like :meth:`_choose_cursor`, with
           cached arrival keys and run extension while one source stays
           strictly ahead.
+
+        ``horizon`` (cooperative serving mode) stops the schedule at the
+        first tuple whose arrival lies beyond it, so a batch never makes the
+        caller stall the (shared) clock waiting for future data.  ``None``
+        (the default, and the solo execution path) keeps the blocking
+        behaviour and its exact tuple-at-a-time equivalence contract.
 
         Returns a list of ``[binding, rows, last_arrival]`` groups.
         """
@@ -624,11 +632,13 @@ class PipelinedPlan:
                     best = entry
                 elif second_key is None or (entry[0], entry[1]) < second_key:
                     second_key = (entry[0], entry[1])
+            if horizon is not None and best[0] > horizon:
+                break
             binding, cursor = best[2], best[3]
             row, arrival = cursor.read()
             rows = [row]
             budget -= 1
-            if second_key is None:
+            if second_key is None and horizon is None:
                 # Only one live source left: drain it in bulk.
                 more, last_arrival = cursor.read_batch(budget)
                 if more:
@@ -636,10 +646,16 @@ class PipelinedPlan:
                     arrival = last_arrival
                     budget -= len(more)
             else:
-                # Extend the run while this cursor stays strictly ahead.
+                # Extend the run while this cursor stays strictly ahead (and,
+                # under a horizon, has actually arrived).
                 while budget > 0:
                     next_arrival = cursor.peek_arrival()
-                    if next_arrival is None or (next_arrival, cursor.consumed) >= second_key:
+                    if next_arrival is None or (
+                        second_key is not None
+                        and (next_arrival, cursor.consumed) >= second_key
+                    ):
+                        break
+                    if horizon is not None and next_arrival > horizon:
                         break
                     row, arrival = cursor.read()
                     rows.append(row)
@@ -653,19 +669,23 @@ class PipelinedPlan:
                 best[1] = cursor.consumed
         return list(groups.values())
 
-    def step_batch(self, max_tuples: int | None = None) -> int:
+    def step_batch(
+        self, max_tuples: int | None = None, horizon: float | None = None
+    ) -> int:
         """Read one batch of source tuples and fully propagate it.
 
-        Returns the number of source tuples consumed (0 when exhausted).  The
-        batch is capped at ``batch_size`` and, when given, at ``max_tuples``
-        (used by :meth:`run_chunk` to land on exact tuple boundaries).
+        Returns the number of source tuples consumed (0 when exhausted, or —
+        under a ``horizon`` — when every pending tuple arrives after it).
+        The batch is capped at ``batch_size`` and, when given, at
+        ``max_tuples`` (used by :meth:`run_chunk` to land on exact tuple
+        boundaries).
         """
         limit = self.batch_size if self.batch_size is not None else 1
         if max_tuples is not None and max_tuples < limit:
             limit = max_tuples
         if limit < 1:
             return 0
-        groups = self._read_schedule(limit)
+        groups = self._read_schedule(limit, horizon)
         if not groups:
             return 0
         metrics = self.metrics
@@ -727,7 +747,7 @@ class PipelinedPlan:
         self._finalize_statistics()
         return steps
 
-    def run_chunk(self, max_tuples: int) -> int:
+    def run_chunk(self, max_tuples: int, horizon: float | None = None) -> int:
         """Process up to ``max_tuples`` source tuples; return how many ran.
 
         Unlike :meth:`run`, the cap is expressed in *tuples* in both modes,
@@ -736,16 +756,26 @@ class PipelinedPlan:
         at chunk boundaries, so plan-switch decisions are taken at identical
         tuple positions regardless of batch size — which is what makes phase
         counts comparable (and differential-testable) across batch sizes.
+
+        With a ``horizon`` (cooperative serving mode) the chunk stops before
+        the first tuple that arrives after it, instead of stalling the clock:
+        a multi-query scheduler can then overlap this plan's wait with other
+        queries' work.  A return of 0 with :attr:`sources_exhausted` still
+        false means "blocked until :meth:`next_arrival`".
         """
         processed = 0
         if self.batch_size is None:
             while processed < max_tuples:
+                if horizon is not None:
+                    arrival = self.next_arrival()
+                    if arrival is None or arrival > horizon:
+                        break
                 if not self.step():
                     break
                 processed += 1
         else:
             while processed < max_tuples:
-                read = self.step_batch(max_tuples - processed)
+                read = self.step_batch(max_tuples - processed, horizon=horizon)
                 if read == 0:
                     break
                 processed += read
@@ -772,6 +802,28 @@ class PipelinedPlan:
         return all(
             self.cursors[name].peek_arrival() is None for name in self.leaves
         )
+
+    # -- cooperative scheduling ------------------------------------------------
+
+    def next_arrival(self) -> float | None:
+        """Earliest pending arrival among this plan's live cursors.
+
+        ``None`` when every source is exhausted.  Together with the resumable
+        :meth:`run_chunk`, this is the hook a multi-query scheduler needs: a
+        plan whose next arrival lies in the future would stall the shared
+        clock if granted a quantum now, so the scheduler can run another
+        query's plan instead and come back once the data has arrived.
+        """
+        best: float | None = None
+        for name in self.leaves:
+            arrival = self.cursors[name].peek_arrival()
+            if arrival is not None and (best is None or arrival < best):
+                best = arrival
+        return best
+
+    def consumed_counts(self) -> dict[str, int]:
+        """Tuples consumed from each source cursor so far (pre-selection)."""
+        return {name: self.cursors[name].consumed for name in self.leaves}
 
     # -- monitoring ------------------------------------------------------------
 

@@ -8,16 +8,22 @@ Regenerate any of the paper's tables/figures without going through pytest::
     python -m repro.experiments.cli fig6          # pre-aggregation
     python -m repro.experiments.cli sec4.5        # selectivity prediction
     python -m repro.experiments.cli ablations     # sensitivity sweeps
-    python -m repro.experiments.cli all           # everything
+    python -m repro.experiments.cli serve-bench   # multi-query serving layer
+    python -m repro.experiments.cli all           # every paper figure/table
 
 Use ``--scale`` to trade runtime for fidelity (default 0.003), ``--seed``
 for a different deterministic instance, and ``--batch-size N`` to run the
 engines batch-at-a-time (identical results, much faster regeneration).
+``serve-bench`` additionally honours ``--serve-queries`` (concurrent query
+count, default 8), ``--serve-wireless`` and ``--bench-output`` (write the
+JSON benchmark record, e.g. ``BENCH_pr2.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 from typing import Callable
 
 from repro.experiments.ablations import (
@@ -37,6 +43,11 @@ from repro.experiments.corrective import (
 )
 from repro.experiments.preaggregation import run_preaggregation_comparison
 from repro.experiments.selectivity import run_selectivity_prediction
+from repro.experiments.serving_bench import (
+    run_serving_benchmark,
+    serving_per_query_rows,
+    serving_summary_rows,
+)
 
 
 def _print(title: str, table: str) -> None:
@@ -92,6 +103,52 @@ def run_ablations(scale: float, seed: int, batch_size: int | None = None) -> Non
            format_table(sweep_window_policy(scale_factor=scale, seed=seed)))
 
 
+def run_serve_bench(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    num_queries: int = 8,
+    wireless: bool = False,
+    output: str | None = None,
+) -> None:
+    result = run_serving_benchmark(
+        scale_factor=scale,
+        seed=seed,
+        num_queries=num_queries,
+        batch_size=batch_size,
+        wireless=wireless,
+    )
+    _print(
+        f"Serving layer — {num_queries} concurrent queries per policy",
+        format_table(serving_summary_rows(result)),
+    )
+    for policy in result["policies"]:
+        _print(
+            f"Per-query breakdown — {policy}",
+            format_table(serving_per_query_rows(result, policy)),
+        )
+    # Write the record before the verification gate: on a failure the JSON's
+    # per-policy ``mismatched_queries`` list is the primary diagnostic.
+    if output is not None:
+        path = pathlib.Path(output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbenchmark record written to {path}")
+    failed = [
+        policy
+        for policy, stats in result["policies"].items()
+        if not stats["verified_vs_solo"]
+    ]
+    if failed:
+        mismatched = {
+            policy: result["policies"][policy]["mismatched_queries"]
+            for policy in failed
+        }
+        raise SystemExit(
+            f"serving-vs-solo verification FAILED: {mismatched}"
+        )
+    print("serving-vs-solo verification: all result multisets identical")
+
+
 EXPERIMENTS: dict[str, Callable[[float, int, int | None], None]] = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -109,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=sorted(EXPERIMENTS) + ["serve-bench", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -130,9 +187,25 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: tuple-at-a-time, as in the paper).  Results are "
             "identical and regeneration is much faster; simulated timings "
             "are bit-identical for local experiments (fig2) and may drift "
-            "~1%% for wireless ones (fig3).  Currently honoured by fig2 "
-            "and fig3."
+            "~1%% for wireless ones (fig3).  Currently honoured by fig2, "
+            "fig3 and serve-bench."
         ),
+    )
+    parser.add_argument(
+        "--serve-queries",
+        type=int,
+        default=8,
+        help="serve-bench: number of concurrent queries to admit (default 8)",
+    )
+    parser.add_argument(
+        "--serve-wireless",
+        action="store_true",
+        help="serve-bench: put every source behind a bursty wireless link",
+    )
+    parser.add_argument(
+        "--bench-output",
+        default=None,
+        help="serve-bench: write the JSON benchmark record to this path",
     )
     return parser
 
@@ -141,7 +214,18 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit("--batch-size must be a positive integer")
-    if args.experiment == "all":
+    if args.experiment == "serve-bench":
+        if args.serve_queries < 1:
+            raise SystemExit("--serve-queries must be a positive integer")
+        run_serve_bench(
+            args.scale,
+            args.seed,
+            args.batch_size,
+            num_queries=args.serve_queries,
+            wireless=args.serve_wireless,
+            output=args.bench_output,
+        )
+    elif args.experiment == "all":
         for name in ("fig2", "fig3", "fig5", "fig6", "sec4.5", "ablations"):
             EXPERIMENTS[name](args.scale, args.seed, args.batch_size)
     else:

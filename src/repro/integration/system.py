@@ -14,6 +14,11 @@ executes them with a selectable strategy:
 It returns a :class:`QueryAnswer` bundling the result rows with the execution
 report, so applications can both consume answers and inspect how adaptation
 behaved.
+
+Beyond one-shot :meth:`AdaptiveIntegrationSystem.execute`, the facade also
+exposes :meth:`AdaptiveIntegrationSystem.serve`: admit several queries at
+once and let the multi-query serving layer interleave them over the shared
+source pool on one simulated clock (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ from repro.relational.algebra import SPJAQuery
 from repro.relational.catalog import Catalog, TableStatistics
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.serving.server import QueryServer, ServingReport
+from repro.serving.stats_cache import SharedStatisticsCache
 from repro.sources.description import MappedSource, SourceDescription
 from repro.sources.source import DataSource
 
@@ -163,6 +170,58 @@ class AdaptiveIntegrationSystem:
             simulated_seconds=seconds,
             report=report,
         )
+
+    # -- serving -----------------------------------------------------------------------
+
+    def serve(
+        self,
+        queries: Iterable[SPJAQuery],
+        policy: str = "round_robin",
+        batch_size: int | None = None,
+        quantum_tuples: int = 200,
+        admission_times: Iterable[float] | None = None,
+        stats_cache: SharedStatisticsCache | None = None,
+        **options,
+    ) -> ServingReport:
+        """Serve several SPJA queries concurrently over the registered sources.
+
+        The queries are admitted to a :class:`~repro.serving.server.QueryServer`
+        (at time 0, or at the per-query simulated ``admission_times``) and
+        interleaved on one shared simulated clock under the chosen scheduling
+        ``policy`` (``"round_robin"`` or ``"shortest_remaining_cost"``).  All
+        queries share the registered source objects — remote sources keep one
+        cached arrival schedule across every consumer — and a cross-query
+        statistics cache, so selectivities and exact cardinalities learned
+        while serving one query inform the plans of the next.  Pass a
+        ``stats_cache`` to carry learned statistics across successive
+        ``serve`` calls.  Remaining keyword ``options`` go to the server
+        (``polling_interval_seconds``, ``switch_threshold``, …).
+
+        Each query's result multiset is identical to what a solo
+        ``execute(query, strategy="corrective")`` run would return; only the
+        timing (and possibly the plans travelled along the way) differs.
+        """
+        queries = list(queries)
+        if not queries:
+            raise ValueError("serve() needs at least one query")
+        times = [0.0] * len(queries) if admission_times is None else list(admission_times)
+        if len(times) != len(queries):
+            raise ValueError(
+                f"admission_times has {len(times)} entries for {len(queries)} queries"
+            )
+        server = QueryServer(
+            self.catalog,
+            self._sources,
+            cost_model=self.cost_model,
+            policy=policy,
+            batch_size=batch_size,
+            quantum_tuples=quantum_tuples,
+            stats_cache=stats_cache,
+            **options,
+        )
+        for query, admit_at in zip(queries, times):
+            server.submit(query, admit_at=admit_at)
+        return server.run()
 
     # -- introspection -----------------------------------------------------------------
 

@@ -51,14 +51,25 @@ class ReOptimizer:
         switch_threshold: float = 0.8,
         bushy: bool = True,
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
+        stitchup_cost_weight: float = 1.0,
     ) -> None:
         """``switch_threshold``: recommend a switch only when the alternative's
-        estimated remaining cost is below ``threshold * current remaining cost``."""
+        estimated remaining cost is below ``threshold * current remaining cost``.
+
+        ``stitchup_cost_weight`` scales the sunk-work credit of Section 4.2:
+        switching after a fraction of the inputs has already been processed
+        means the new plan's output must be stitched up against the partitions
+        the current plan has built, so the alternative is charged
+        ``weight * completed_fraction`` of its full cost on top of its
+        remaining cost.  ``0.0`` reproduces the (buggy) memoryless comparison
+        in which remaining progress cancels out of the switch decision.
+        """
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.switch_threshold = switch_threshold
         self.bushy = bushy
         self.default_cardinality = default_cardinality
+        self.stitchup_cost_weight = stitchup_cost_weight
         self.plan_cost_model = PlanCostModel(self.cost_model)
         self.invocations = 0
 
@@ -74,21 +85,27 @@ class ReOptimizer:
     def _remaining_fraction(
         self, query: SPJAQuery, observed: ObservedStatistics, estimator: SelectivityEstimator
     ) -> float:
-        """Average fraction of the source data still to be read.
+        """Fraction of the source data still to be read, tuple-weighted.
 
         Per the consistency heuristic of Section 4.2, the cost of the rest of
         the query is extrapolated assuming performance stays proportional to
-        the unread fraction of the inputs.
+        the unread fraction of the inputs.  The fraction is weighted by each
+        source's (estimated) cardinality: an unweighted per-relation average
+        lets tiny dimension tables that exhaust in the first chunk dominate,
+        reporting a six-relation query as "mostly done" while the fact table
+        is barely touched.
         """
-        fractions = []
+        total_tuples = 0.0
+        remaining_tuples = 0.0
         for relation in query.relations:
             obs = observed.source(relation)
-            total = estimator.base_cardinality(relation)
+            total = max(estimator.base_cardinality(relation), 1.0)
             read = obs.tuples_read if obs is not None else 0
-            fractions.append(max(0.0, 1.0 - read / max(total, 1.0)))
-        if not fractions:
+            total_tuples += total
+            remaining_tuples += max(0.0, total - read)
+        if total_tuples <= 0:
             return 1.0
-        return sum(fractions) / len(fractions)
+        return remaining_tuples / total_tuples
 
     # -- main entry point --------------------------------------------------------
 
@@ -107,8 +124,21 @@ class ReOptimizer:
         best_estimate = enumerator.cost_of(best_tree)
         remaining = self._remaining_fraction(query, observed, estimator)
 
+        # Cost to finish with the current plan: the unread fraction of the
+        # inputs at the current plan's (re-estimated) cost.  Work already done
+        # — the hash tables holding the completed fraction — is sunk and must
+        # be credited to the current plan (Section 4.2): an alternative plan
+        # only processes the remaining source data, but its output then has to
+        # be stitched up against the partitions built so far, which is charged
+        # as ``completed * total`` of the alternative's cost.  Without that
+        # term both sides are multiplied by the same ``remaining`` fraction
+        # and progress cancels out of the switch decision entirely, so a
+        # nearly finished query looks exactly as switch-worthy as a fresh one.
+        completed = 1.0 - remaining
         current_remaining_cost = current_estimate.total_cost * remaining
-        best_remaining_cost = best_estimate.total_cost * remaining
+        best_remaining_cost = best_estimate.total_cost * (
+            remaining + self.stitchup_cost_weight * completed
+        )
 
         same_tree = best_tree.leaf_order() == current_tree.leaf_order() and str(
             best_tree

@@ -126,6 +126,19 @@ class Catalog:
         stats = self.statistics(name)
         return stats.cardinality if stats.cardinality is not None else default
 
+    def copy(self) -> "Catalog":
+        """Independent copy sharing schemas/relations but not the entry objects.
+
+        Statistics objects are frozen dataclasses, so a copied catalog can
+        have learned statistics published into it (``set_statistics``)
+        without mutating the original — the serving layer relies on this to
+        accumulate learned cardinalities without surprising the caller.
+        """
+        clone = Catalog()
+        for entry in self._entries.values():
+            clone.register(entry.name, entry.schema, entry.statistics, entry.relation)
+        return clone
+
     def with_cardinalities(self) -> "Catalog":
         """Return a copy whose statistics include true cardinalities.
 

@@ -1,0 +1,25 @@
+"""Multi-query serving: concurrent adaptive executions on one shared clock."""
+
+from repro.serving.scheduler import (
+    POLICIES,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    ShortestRemainingCostPolicy,
+    make_policy,
+)
+from repro.serving.server import QueryServer, ServedQuery, ServingReport
+from repro.serving.session import QuerySession
+from repro.serving.stats_cache import SharedStatisticsCache
+
+__all__ = [
+    "POLICIES",
+    "QueryServer",
+    "QuerySession",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "ServedQuery",
+    "ServingReport",
+    "SharedStatisticsCache",
+    "ShortestRemainingCostPolicy",
+    "make_policy",
+]

@@ -1,0 +1,82 @@
+"""Scheduling policies for the multi-query serving layer.
+
+The :class:`~repro.serving.server.QueryServer` repeatedly asks its policy
+which of the currently *ready* sessions (admitted, unfinished, and able to
+make progress without stalling the shared clock) should receive the next
+execution quantum.  Policies are deterministic: ties are broken by admission
+order, so a serving run is a pure function of its inputs — the property the
+serving-vs-solo differential tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.session import QuerySession
+
+
+class SchedulingPolicy:
+    """Base class: choose which ready session runs next."""
+
+    name = "base"
+
+    def pick(self, ready: Sequence["QuerySession"], now: float) -> "QuerySession":
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Fair share: grant the quantum to the least-recently-served session.
+
+    With a static session population this degenerates to classic round-robin
+    rotation; with dynamic admissions and sessions that block on source
+    arrivals it generalizes gracefully — a session that was skipped while
+    waiting for data is first in line once its data arrives.
+    """
+
+    name = "round_robin"
+
+    def pick(self, ready: Sequence["QuerySession"], now: float) -> "QuerySession":
+        return min(ready, key=lambda session: (session.last_granted_turn, session.index))
+
+
+class ShortestRemainingCostPolicy(SchedulingPolicy):
+    """Grant the quantum to the session with the least estimated work left.
+
+    The classic shortest-remaining-processing-time discipline, which
+    minimizes mean latency when estimates are accurate.  Remaining cost is
+    estimated as the number of source tuples still to be read (catalog or
+    learned cardinalities minus tuples consumed), the same consistency
+    assumption the re-optimizer applies to a single query's remaining work.
+    Long queries are never starved outright: a blocked short query drops out
+    of the ready set, letting longer ones progress through its stalls.
+    """
+
+    name = "shortest_remaining_cost"
+
+    def pick(self, ready: Sequence["QuerySession"], now: float) -> "QuerySession":
+        return min(
+            ready,
+            key=lambda session: (session.remaining_cost_estimate(), session.index),
+        )
+
+
+POLICIES: dict[str, type[SchedulingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    ShortestRemainingCostPolicy.name: ShortestRemainingCostPolicy,
+}
+
+
+def make_policy(policy: str | SchedulingPolicy) -> SchedulingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; expected one of {sorted(POLICIES)}"
+        ) from None

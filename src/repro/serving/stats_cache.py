@@ -1,0 +1,145 @@
+"""Cross-query statistics sharing for the serving layer.
+
+In a one-shot experiment every query starts from the catalog's (often empty)
+statistics and learns selectivities from scratch.  Under serving traffic the
+same sources are referenced by query after query, so what one execution's
+monitor observed is exactly the prior the next execution's re-optimizer
+wants: observed subexpression selectivities, multiplicative-join flags, and
+exact cardinalities of exhausted sources.
+
+:class:`SharedStatisticsCache` is that memory.  The :class:`QueryServer`
+seeds every admitted query's monitor from it (``seed_for``), folds each
+finished query's observations back in (``absorb``), and publishes learned
+exact cardinalities into its catalog (``apply_cardinalities``) so even the
+*initial* optimizer run of later queries benefits.
+
+The cache also offers an attribute-histogram store (``record_histogram`` /
+``histogram``) as the sharing point for histogram-producing consumers such
+as the Section 4.5 selectivity-prediction machinery.  The serving loop
+itself deliberately does **not** build histograms while executing — the
+paper measures ~50% maintenance overhead for incremental histograms, so
+they stay opt-in — which is why ``histograms`` is 0 in a plain serving
+run's summary.
+
+A deliberate approximation: selectivities are keyed by relation set, the
+paper's Section 4.2 definition of a logical subexpression *within one
+query*.  Two queries over the same relations but different selection
+predicates will therefore exchange slightly-off priors.  That is safe — the
+seed only pre-populates the monitor, and the query's own observations
+overwrite seeded values as soon as data flows — and it is what makes the
+cache useful across the paper's workload, where Q3/Q3A/Q10/Q10A share their
+join structure.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.statistics import ObservedStatistics
+from repro.relational.algebra import SPJAQuery
+from repro.relational.catalog import Catalog
+from repro.stats.histogram import DynamicCompressedHistogram
+
+
+class SharedStatisticsCache:
+    """Statistics learned by finished queries, reusable by future ones."""
+
+    def __init__(self) -> None:
+        #: the accumulated cross-query observations; ``merge`` (later wins /
+        #: max-fold) is exactly the folding the cache needs, so absorbing a
+        #: finished query delegates to it rather than re-implementing it
+        self._observed = ObservedStatistics()
+        #: observed selectivity per subexpression (keyed by relation set) —
+        #: a live view into the accumulated observations
+        self.selectivities: dict[frozenset, float] = self._observed.selectivities
+        #: multiplicative-join blow-up factors keyed by predicate (live view)
+        self.multiplicative_factors: dict[frozenset, float] = (
+            self._observed.multiplicative_factors
+        )
+        #: exact cardinalities of sources some query has fully consumed
+        self.cardinalities: dict[str, int] = {}
+        #: attribute histograms keyed by ``(relation, attribute)``
+        self.histograms: dict[tuple[str, str], DynamicCompressedHistogram] = {}
+        self.queries_seeded = 0
+        self.queries_absorbed = 0
+
+    # -- seeding new queries ---------------------------------------------------
+
+    def seed_for(self, query: SPJAQuery) -> ObservedStatistics | None:
+        """Observations relevant to ``query``, or ``None`` when nothing applies.
+
+        Only entries whose relation sets fall entirely within the query's
+        relations are seeded; statistics about unrelated subexpressions would
+        never be read and would only bloat the monitor.
+        """
+        relations = set(query.relations)
+        seed = ObservedStatistics()
+        for key, selectivity in self.selectivities.items():
+            if key <= relations:
+                seed.selectivities[key] = selectivity
+        for key, factor in self.multiplicative_factors.items():
+            if all(relation in relations for relation, _attr in key):
+                seed.multiplicative_factors[key] = factor
+        if not seed.selectivities and not seed.multiplicative_factors:
+            return None
+        self.queries_seeded += 1
+        return seed
+
+    def apply_cardinalities(self, catalog: Catalog) -> int:
+        """Publish learned exact cardinalities into ``catalog``.
+
+        Exhausted-source counts are published as catalog statistics rather
+        than seeded as source observations: a new query's ``tuples_read``
+        must start at zero (it drives the remaining-progress estimate), but
+        the *total* size of a source is a property of the source itself.
+        Returns the number of entries updated.
+        """
+        updated = 0
+        for relation, cardinality in self.cardinalities.items():
+            if relation not in catalog:
+                continue
+            stats = catalog.statistics(relation)
+            if stats.cardinality != cardinality:
+                catalog.set_statistics(relation, stats.with_cardinality(cardinality))
+                updated += 1
+        return updated
+
+    # -- absorbing finished queries --------------------------------------------
+
+    def absorb(self, observed: ObservedStatistics) -> None:
+        """Fold one execution's accumulated observations into the cache."""
+        self.queries_absorbed += 1
+        self._observed.merge(observed)
+        for relation, obs in observed.sources.items():
+            if obs.exhausted and obs.tuples_read > 0:
+                existing_count = self.cardinalities.get(relation, 0)
+                self.cardinalities[relation] = max(existing_count, obs.tuples_read)
+
+    # -- histograms -------------------------------------------------------------
+
+    def record_histogram(
+        self, relation: str, attribute: str, histogram: DynamicCompressedHistogram
+    ) -> None:
+        """Cache an attribute histogram built by a histogram-producing consumer.
+
+        The serving loop itself never calls this (histogram maintenance is
+        opt-in, see the module docstring); callers that do build histograms
+        — e.g. the Section 4.5 predictor — use the cache to share them
+        across queries and successive ``serve()`` calls.
+        """
+        self.histograms[(relation, attribute)] = histogram
+
+    def histogram(
+        self, relation: str, attribute: str
+    ) -> DynamicCompressedHistogram | None:
+        return self.histograms.get((relation, attribute))
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "selectivities": len(self.selectivities),
+            "multiplicative_factors": len(self.multiplicative_factors),
+            "cardinalities": len(self.cardinalities),
+            "histograms": len(self.histograms),
+            "queries_seeded": self.queries_seeded,
+            "queries_absorbed": self.queries_absorbed,
+        }

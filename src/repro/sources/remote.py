@@ -33,6 +33,11 @@ class RemoteSource(DataSource):
         self.relation = relation
         self.network = network or InstantNetworkModel()
         self._arrival_schedule: tuple[float, ...] | None = None
+        #: number of streams opened over this source's lifetime.  Under
+        #: multi-query serving one source object is shared by every query
+        #: that references it (each with its own cursor), so this counts the
+        #: concurrent-connection load the source pool absorbed.
+        self.open_count = 0
 
     @property
     def arrival_schedule(self) -> tuple[float, ...]:
@@ -43,18 +48,40 @@ class RemoteSource(DataSource):
             )
         return self._arrival_schedule
 
+    @property
+    def schedule_materialized(self) -> bool:
+        return self._arrival_schedule is not None
+
+    def prime(self) -> "RemoteSource":
+        """Force-compute the arrival schedule; returns ``self``.
+
+        The serving layer primes every remote source before admitting
+        queries, making the shared-schedule contract explicit: all sessions
+        (and any solo comparison run over the same source object) observe
+        byte-for-byte identical per-tuple arrival times no matter which
+        session's cursor touches the source first.
+        """
+        _ = self.arrival_schedule
+        return self
+
     def open_stream(self) -> Iterator[tuple[tuple, float]]:
+        self.open_count += 1
         return zip(self.relation.rows, self.arrival_schedule)
 
     def open_stream_batches(self, batch_size: int) -> Iterator[list[tuple[tuple, float]]]:
         """Batched reads: slice rows and the cached schedule chunk by chunk."""
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        self.open_count += 1
         rows = self.relation.rows
         schedule = self.arrival_schedule
-        for start in range(0, len(rows), batch_size):
-            stop = start + batch_size
-            yield list(zip(rows[start:stop], schedule[start:stop]))
+
+        def batches() -> Iterator[list[tuple[tuple, float]]]:
+            for start in range(0, len(rows), batch_size):
+                stop = start + batch_size
+                yield list(zip(rows[start:stop], schedule[start:stop]))
+
+        return batches()
 
     def __len__(self) -> int:
         return len(self.relation)

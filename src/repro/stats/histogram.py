@@ -191,9 +191,17 @@ class DynamicCompressedHistogram:
         Used to extrapolate a histogram over a partially seen stream to the
         whole stream ("assume performance is consistent throughout").
         """
+        # The singleton_fraction constructor argument is a placeholder (0.0):
+        # round-tripping the budget through ``singleton_budget /
+        # bucket_target`` can shrink it under float truncation (e.g.
+        # ``int(50 * (29 / 50)) == 28``), so the budget and the maintenance
+        # counters are copied over directly instead.
         clone = DynamicCompressedHistogram(
-            self.bucket_target, self.singleton_budget / self.bucket_target, self.restructure_interval
+            self.bucket_target, 0.0, self.restructure_interval
         )
+        clone.singleton_budget = self.singleton_budget
+        clone.maintenance_operations = self.maintenance_operations
+        clone._since_restructure = self._since_restructure
         clone.total_count = int(self.total_count * factor)
         clone.singletons = {v: max(int(c * factor), 1) for v, c in self.singletons.items()}
         clone.buckets = [

@@ -100,10 +100,15 @@ class OrderDetector:
         fraction of the key domain covered so far is then an estimate of the
         fraction of the relation that has been read — the quantity the
         Section 4.5 predictor exploits for sorted inputs.
+
+        The high-water mark (``max_value``) is used rather than the last
+        arrival: with ``tolerance > 0`` a stream stays classified ASCENDING
+        through occasional out-of-order values, and a late low arrival must
+        not make the progress estimate jump backwards.
         """
         if self.state() is not OrderState.ASCENDING or self.observed == 0:
             return None
         span = domain_high - domain_low
         if span <= 0:
             return None
-        return min(max((self.last_value - domain_low) / span, 0.0), 1.0)
+        return min(max((self.max_value - domain_low) / span, 0.0), 1.0)

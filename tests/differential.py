@@ -110,7 +110,7 @@ def _random_relation_size(rng: random.Random) -> int:
     return rng.randint(8, 90)
 
 
-def generate_workload(seed: int) -> DifferentialWorkload:
+def generate_workload(seed: int, name_prefix: str = "") -> DifferentialWorkload:
     """Deterministically generate one randomized SPJA workload.
 
     The join graph is a random spanning tree (relation ``i`` references a
@@ -119,8 +119,17 @@ def generate_workload(seed: int) -> DifferentialWorkload:
     equi-join predicate — which lands either on an existing join edge
     (exercising residual predicates) or between two other relations
     (exercising multi-predicate ``predicates_between`` splits).
+
+    ``name_prefix`` namespaces the relation names (``w0_r1`` instead of
+    ``r1``) so several workloads can coexist in one shared catalog / source
+    pool — the serving differential scenario.  The RNG draws are independent
+    of the prefix, so a prefixed workload carries exactly the same data and
+    query shape as the unprefixed one for the same seed.
     """
     rng = random.Random(seed)
+
+    def rel(i: int) -> str:
+        return f"{name_prefix}r{i}"
     num_relations = rng.choice((1, 2, 2, 3, 3, 3, 4, 4, 5))
     domains = [rng.randint(4, 24) for _ in range(num_relations)]
     sizes = [_random_relation_size(rng) for _ in range(num_relations)]
@@ -139,7 +148,7 @@ def generate_workload(seed: int) -> DifferentialWorkload:
     relations: dict[str, Relation] = {}
     join_predicates: list[JoinPredicate] = []
     for i in range(num_relations):
-        name = f"r{i}"
+        name = rel(i)
         attrs = [f"r{i}_pk"]
         if parents[i] is not None:
             attrs.append(f"r{i}_fk")
@@ -162,12 +171,12 @@ def generate_workload(seed: int) -> DifferentialWorkload:
         relations[name] = Relation(name, schema, rows)
         if parents[i] is not None:
             join_predicates.append(
-                JoinPredicate(name, f"r{i}_fk", f"r{parents[i]}", f"r{parents[i]}_pk")
+                JoinPredicate(name, f"r{i}_fk", rel(parents[i]), f"r{parents[i]}_pk")
             )
     for child, target in extra_edges:
         join_predicates.append(
             JoinPredicate(
-                f"r{child}", f"r{child}_x{target}", f"r{target}", f"r{target}_pk"
+                rel(child), f"r{child}_x{target}", rel(target), f"r{target}_pk"
             )
         )
 
@@ -187,7 +196,7 @@ def generate_workload(seed: int) -> DifferentialWorkload:
             predicate = Comparison(
                 AttributeRef(f"r{i}_cat"), op, Constant(rng.randrange(6))
             )
-        selections[f"r{i}"] = predicate
+        selections[rel(i)] = predicate
 
     aggregation = None
     if rng.random() < 0.5:
@@ -207,8 +216,8 @@ def generate_workload(seed: int) -> DifferentialWorkload:
         aggregation = AggregateSpec(tuple(group_attrs), tuple(aggregates))
 
     query = SPJAQuery(
-        name=f"diff_{seed}",
-        relations=tuple(f"r{i}" for i in range(num_relations)),
+        name=f"{name_prefix}diff_{seed}",
+        relations=tuple(rel(i) for i in range(num_relations)),
         join_predicates=tuple(join_predicates),
         selections=selections,
         aggregation=aggregation,
@@ -235,6 +244,22 @@ def _bad_initial_tree(workload: DifferentialWorkload) -> JoinTree:
             chosen.extend(remaining)
             break
     return JoinTree.left_deep(chosen)
+
+
+def _canonical_names(workload: DifferentialWorkload) -> list[str]:
+    """Canonical column order for a workload's results.
+
+    The reference evaluation's layout: relation schemas concatenated in
+    query order for SPJ queries; group attributes plus aggregate aliases for
+    aggregation queries (a layout every engine shares).
+    """
+    query = workload.query
+    if query.aggregation is None:
+        names: list[str] = []
+        for relation in query.relations:
+            names.extend(workload.relations[relation].schema.names)
+        return names
+    return list(query.aggregation.output_attributes)
 
 
 def _canonical_multiset(rows, schema_names, canonical_names) -> Counter:
@@ -280,15 +305,7 @@ def run_differential_case(seed: int) -> DifferentialResult:
     fixed_tree = JoinTree.left_deep(query.relations)
     bad_tree = _bad_initial_tree(workload)
 
-    # Canonical column order: the reference evaluation's layout (relation
-    # schemas concatenated in query order for SPJ; group attributes plus
-    # aggregate aliases for aggregation queries, which every engine shares).
-    if query.aggregation is None:
-        canonical_names: list[str] = []
-        for name in query.relations:
-            canonical_names.extend(workload.relations[name].schema.names)
-    else:
-        canonical_names = list(query.aggregation.output_attributes)
+    canonical_names = _canonical_names(workload)
 
     result = DifferentialResult(
         seed=seed,
@@ -335,6 +352,123 @@ def run_differential_case(seed: int) -> DifferentialResult:
         result.phase_counts[label] = report.num_phases
 
     return result
+
+
+@dataclass
+class ServingDifferentialResult:
+    """One serving-vs-solo differential run, for assertions and meta-tests."""
+
+    seeds: tuple[int, ...]
+    policy: str
+    batch_size: int | None
+    workloads: list[DifferentialWorkload]
+    serving_report: object  # repro.serving.server.ServingReport
+    solo_phase_counts: list[int]
+    served_phase_counts: list[int]
+
+    @property
+    def num_remote(self) -> int:
+        return sum(1 for workload in self.workloads if workload.remote)
+
+    @property
+    def max_served_phases(self) -> int:
+        return max(self.served_phase_counts, default=0)
+
+
+def run_serving_differential_case(
+    seeds, policy: str, batch_size: int | None = None
+) -> ServingDifferentialResult:
+    """Serve several differential workloads concurrently; verify each answer.
+
+    The workloads (one per seed, relation names prefixed ``w<i>_`` so they
+    coexist in one catalog) are all admitted at time zero to a
+    :class:`~repro.serving.server.QueryServer` under ``policy``, each forced
+    to start from its deliberately bad join order.  Every served query's
+    result multiset must equal both the brute-force reference oracle and a
+    solo corrective run with identical parameters — interleaving, shared
+    clocks and cross-query statistics seeding may change plans and timing
+    but never answers.
+    """
+    from repro.core.corrective import CorrectiveQueryProcessor
+    from repro.serving.server import QueryServer
+
+    workloads = [
+        generate_workload(seed, name_prefix=f"w{index}_")
+        for index, seed in enumerate(seeds)
+    ]
+    catalog = Catalog()
+    sources: dict[str, object] = {}
+    for workload in workloads:
+        for name, relation in workload.relations.items():
+            catalog.register(name, relation.schema)
+        sources.update(workload.sources())
+
+    expectations = []
+    solo_phase_counts = []
+    for workload in workloads:
+        query = workload.query
+        canonical_names = _canonical_names(workload)
+        reference = Counter(reference_spja(query, workload.relations))
+        solo_report = CorrectiveQueryProcessor(
+            workload.catalog(),
+            workload.sources(),
+            polling_interval_seconds=POLLING_INTERVAL,
+            batch_size=batch_size,
+        ).execute(
+            query,
+            initial_tree=_bad_initial_tree(workload),
+            poll_step_limit=POLL_STEP_LIMIT,
+        )
+        solo = _canonical_multiset(
+            solo_report.rows, solo_report.schema.names, canonical_names
+        )
+        assert solo == reference, (
+            f"solo corrective run disagrees with the reference oracle on "
+            f"query {query.name} (seed {workload.seed})"
+        )
+        solo_phase_counts.append(solo_report.num_phases)
+        expectations.append((workload, canonical_names, reference))
+
+    server = QueryServer(
+        catalog,
+        sources,
+        policy=policy,
+        batch_size=batch_size,
+        quantum_tuples=POLL_STEP_LIMIT,
+        polling_interval_seconds=POLLING_INTERVAL,
+    )
+    for workload in workloads:
+        server.submit(
+            workload.query,
+            initial_tree=_bad_initial_tree(workload),
+            label=workload.query.name,
+        )
+    report = server.run()
+    assert len(report.served) == len(workloads)
+
+    served_phase_counts = []
+    for served, (workload, canonical_names, reference) in zip(
+        report.served, expectations
+    ):
+        assert served.query_name == workload.query.name
+        served_multiset = _canonical_multiset(
+            served.rows, served.report.schema.names, canonical_names
+        )
+        assert served_multiset == reference, (
+            f"policy {policy!r} (batch_size={batch_size}): served query "
+            f"{served.label!r} disagrees with its solo/reference result on "
+            f"seed {workload.seed}; query:\n{workload.query.describe()}"
+        )
+        served_phase_counts.append(served.phases)
+    return ServingDifferentialResult(
+        seeds=tuple(seeds),
+        policy=policy,
+        batch_size=batch_size,
+        workloads=workloads,
+        serving_report=report,
+        solo_phase_counts=solo_phase_counts,
+        served_phase_counts=served_phase_counts,
+    )
 
 
 def assert_differential_case(result: DifferentialResult) -> None:

@@ -105,3 +105,20 @@ class TestEstimation:
         doubled = histogram.scaled(2.0)
         assert doubled.total_count == 2 * histogram.total_count
         assert doubled.frequency(1) == pytest.approx(2 * histogram.frequency(1), rel=0.05)
+
+    def test_scaled_preserves_singleton_budget_and_counters(self):
+        """Regression: the singleton budget used to round-trip through
+        ``singleton_budget / bucket_target``, which float truncation can
+        shrink (``int(50 * (29 / 50)) == 28``), and the maintenance counters
+        were silently reset on every extrapolation."""
+        histogram = DynamicCompressedHistogram(
+            bucket_target=50, singleton_fraction=0.59, restructure_interval=100
+        )
+        assert histogram.singleton_budget == 29
+        # The buggy round-trip: int(50 * (29 / 50)) == 28 under IEEE floats.
+        assert int(histogram.bucket_target * (29 / 50)) == 28
+        histogram.add_many(range(150))
+        clone = histogram.scaled(1.5)
+        assert clone.singleton_budget == histogram.singleton_budget == 29
+        assert clone.maintenance_operations == histogram.maintenance_operations
+        assert clone._since_restructure == histogram._since_restructure

@@ -73,6 +73,33 @@ class TestReOptimizer:
             reoptimizer.evaluate(query, tree, ObservedStatistics())
         assert reoptimizer.invocations == 3
 
+    def test_late_stage_switches_are_suppressed(self, tiny_tpch):
+        """Regression: current and alternative costs used to be multiplied by
+        the *same* remaining fraction, so progress cancelled out of the switch
+        decision and a 90%-done query was exactly as switch-happy as a fresh
+        one.  With the sunk-work credit (the alternative is charged stitch-up
+        work proportional to the completed fraction), a bad plan is abandoned
+        early but kept once most of the inputs have been processed."""
+        catalog = tiny_tpch.catalog(with_cardinalities=True)
+        reoptimizer = ReOptimizer(catalog, switch_threshold=0.8)
+        query = query_3a()
+        bad = bad_tree_for_q3a()
+
+        fresh = reoptimizer.evaluate(query, bad, ObservedStatistics())
+        assert fresh.switch, "a fresh bad plan should still be abandoned"
+
+        late = ObservedStatistics()
+        for name in query.relations:
+            read = int(len(tiny_tpch[name]) * 0.9)
+            late.record_source(name, read, read, exhausted=False)
+        decision = reoptimizer.evaluate(query, bad, late)
+        assert 0.02 < decision.remaining_fraction < 0.2
+        # The memoryless comparison would still switch here (it is the same
+        # ratio as the fresh decision); the sunk-work credit suppresses it.
+        memoryless = ReOptimizer(catalog, switch_threshold=0.8, stitchup_cost_weight=0.0)
+        assert memoryless.evaluate(query, bad, late).switch
+        assert not decision.switch
+
     def test_observed_statistics_drive_the_recommendation(self, tiny_tpch):
         """An observed explosion in the running join should trigger a switch away."""
         catalog = tiny_tpch.catalog(with_cardinalities=False)

@@ -78,7 +78,24 @@ class TestPriorityQueueReorderer:
         released = reorderer.push((2, None))
         assert released == [(1, None)]
         assert len(reorderer) == 2
-        assert reorderer.buffered_high_water == 3
+        assert reorderer.buffered_high_water == 2
+
+    def test_buffer_never_exceeds_capacity(self):
+        """Regression: a "capacity" queue used to buffer capacity + 1 tuples
+        (release happened only when len(heap) > capacity), so the reported
+        high-water mark exceeded the paper's Section 5 queue size."""
+        capacity = 4
+        reorderer = PriorityQueueReorderer(SCHEMA, "k", capacity=capacity)
+        released = []
+        for key in [9, 7, 5, 3, 1, 8, 6, 4, 2, 0]:
+            released.extend(reorderer.push((key, None)))
+            assert len(reorderer) <= capacity
+        assert reorderer.buffered_high_water == capacity
+        released.extend(reorderer.drain())
+        # The released sequence is unchanged by the fix: each release is the
+        # minimum of the buffered tuples plus the incoming one.
+        assert sorted(row[0] for row in released) == list(range(10))
+        assert [row[0] for row in released[:6]] == [1, 3, 5, 4, 2, 0]
 
     def test_equal_keys_do_not_compare_payloads(self):
         reorderer = PriorityQueueReorderer(SCHEMA, "k", capacity=10)

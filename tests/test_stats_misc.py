@@ -58,6 +58,33 @@ class TestOrderDetector:
         detector.add_many([5, 1, 9])
         assert detector.progress_fraction(0, 10) is None
 
+    def test_progress_fraction_is_monotone_under_tolerance(self):
+        """Regression: progress used to track ``last_value``, so with
+        ``tolerance > 0`` a late out-of-order low arrival made the estimate
+        jump backwards (e.g. from 0.8 down to 0.1) even though the stream
+        stayed classified as ASCENDING."""
+        detector = OrderDetector(tolerance=0.05)
+        detector.add_many(range(0, 80))  # advanced to 79 of [0, 100]
+        before = detector.progress_fraction(0, 100)
+        assert before == pytest.approx(0.79)
+        detector.add(10)  # one straggler, stream still ASCENDING
+        assert detector.state() is OrderState.ASCENDING
+        after = detector.progress_fraction(0, 100)
+        assert after == pytest.approx(0.79)
+        assert after >= before
+
+    def test_progress_fraction_monotone_over_noisy_stream(self):
+        detector = OrderDetector(tolerance=0.1)
+        values = list(range(100))
+        values[30], values[60], values[90] = 2, 5, 1  # sparse stragglers
+        last = 0.0
+        for value in values:
+            detector.add(value)
+            fraction = detector.progress_fraction(0, 120)
+            if fraction is not None:
+                assert fraction >= last
+                last = fraction
+
 
 class TestDistinctCounter:
     def test_exact_mode(self):
