@@ -23,6 +23,11 @@ from repro.engine.operators.aggregate import GroupAccumulator
 from repro.engine.pipelined import PipelinedPlan, SourceCursor
 from repro.engine.state.registry import StateRegistry
 from repro.optimizer.enumerator import Optimizer
+from repro.optimizer.ordering import (
+    OrderingKnowledge,
+    algorithms_of,
+    plan_join_strategies,
+)
 from repro.optimizer.plans import JoinTree
 from repro.optimizer.reoptimizer import ReOptimizer
 from repro.optimizer.statistics import ObservedStatistics
@@ -111,6 +116,8 @@ class CorrectiveQueryProcessor:
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         bushy: bool = True,
         batch_size: int | None = None,
+        order_adaptive: bool = False,
+        order_tolerance: float = 0.05,
     ) -> None:
         """Parameters mirror the paper's experimental knobs.
 
@@ -120,6 +127,17 @@ class CorrectiveQueryProcessor:
         before the processor switches; ``max_phases`` bounds the number of
         sequential plans (a safety valve, rarely reached); ``batch_size``
         selects batch-at-a-time execution (``None`` = tuple-at-a-time).
+
+        ``order_adaptive=True`` turns on order-adaptive join processing:
+        every source cursor gets an order detector on its join attributes
+        (tolerance ``order_tolerance`` out-of-order arrivals), promised
+        orderings from the catalog seed the knowledge, the optimizer /
+        re-optimizer cost merge-join strategies on order-eligible nodes, and
+        plan switches may change only the physical strategies (hash↔merge)
+        mid-flight.  Off by default because — like incremental histograms —
+        the per-tuple detector bookkeeping is a real overhead and order
+        exploitation changes plan choices, which the paper-reproduction
+        benchmarks pin.
         Monitor polls always land on the same tuple positions regardless of
         batch size, so on immediately-available (local) sources — where the
         simulated clock is a pure function of work done — adaptation
@@ -138,6 +156,8 @@ class CorrectiveQueryProcessor:
         self.default_cardinality = default_cardinality
         self.bushy = bushy
         self.batch_size = batch_size
+        self.order_adaptive = order_adaptive
+        self.order_tolerance = order_tolerance
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=bushy, default_cardinality=default_cardinality
         )
@@ -147,6 +167,7 @@ class CorrectiveQueryProcessor:
             switch_threshold=switch_threshold,
             bushy=bushy,
             default_cardinality=default_cardinality,
+            order_adaptive=order_adaptive,
         )
 
     # -- public API ------------------------------------------------------------------
@@ -230,7 +251,39 @@ class CorrectiveQueryProcessor:
             for name in query.relations
         }
 
-        current_tree = initial_tree or self.optimizer.optimize_tree(query)
+        if self.order_adaptive:
+            # Track arrival order of every join attribute at its cursor, and
+            # seed the catalog's ordering promises so the initial plan can
+            # already exploit them (detectors verify the promises as data
+            # flows; a lie surfaces at the next re-optimization poll).
+            for predicate in query.join_predicates:
+                for relation, attribute in (
+                    (predicate.left_relation, predicate.left_attr),
+                    (predicate.right_relation, predicate.right_attr),
+                ):
+                    cursors[relation].ensure_order_detector(
+                        attribute, tolerance=self.order_tolerance
+                    )
+            for relation in query.relations:
+                if relation in self.catalog:
+                    for attribute in self.catalog.statistics(relation).sorted_on:
+                        monitor.observed.record_promised_ordering(relation, attribute)
+
+        def gather_ordering() -> OrderingKnowledge | None:
+            if not self.order_adaptive:
+                return None
+            return OrderingKnowledge.gather(self.catalog, query, monitor.observed)
+
+        if initial_tree is not None:
+            current_tree = initial_tree
+        elif self.order_adaptive:
+            current_tree = self.optimizer.optimize_tree(
+                query, ordering=gather_ordering()
+            )
+        else:
+            current_tree = self.optimizer.optimize_tree(query)
+        phase_algorithms: list[dict[str, str]] = []
+        peak_state_tuples = 0
 
         # Canonical output layout: the first phase's join output schema.  All
         # later phases and the stitch-up adapt their outputs to this layout so
@@ -277,6 +330,12 @@ class CorrectiveQueryProcessor:
 
         phase_id = 0
         while True:
+            ordering = gather_ordering()
+            current_strategies = (
+                plan_join_strategies(query, current_tree, ordering)
+                if ordering is not None
+                else None
+            )
             plan = PipelinedPlan(
                 query,
                 current_tree,
@@ -287,6 +346,13 @@ class CorrectiveQueryProcessor:
                 clock=clock,
                 cost_model=self.cost_model,
                 batch_size=self.batch_size,
+                join_strategies=current_strategies,
+            )
+            phase_algorithms.append(
+                {
+                    " ⋈ ".join(sorted(relations)): algorithm
+                    for relations, algorithm in plan.join_algorithms().items()
+                }
             )
             attach_sinks(plan)
             record = phase_manager.start_phase(current_tree, clock.now)
@@ -330,12 +396,24 @@ class CorrectiveQueryProcessor:
                 if plan.sources_exhausted:
                     break
                 observed = monitor.observe(plan, cursors)
-                decision = self.reoptimizer.evaluate(query, current_tree, observed)
+                decision = self.reoptimizer.evaluate(
+                    query,
+                    current_tree,
+                    observed,
+                    current_strategies=current_strategies,
+                )
                 if decision.switch and phase_id + 1 < self.max_phases:
-                    switch_reason = (
-                        f"re-optimizer found a plan estimated "
-                        f"{decision.improvement:.0%} cheaper"
-                    )
+                    if decision.same_tree and decision.strategies_changed:
+                        switch_reason = (
+                            f"re-optimizer switched join strategies to "
+                            f"{sorted(set(algorithms_of(decision.recommended_strategies).values()))} "
+                            f"(estimated {decision.improvement:.0%} cheaper)"
+                        )
+                    else:
+                        switch_reason = (
+                            f"re-optimizer found a plan estimated "
+                            f"{decision.improvement:.0%} cheaper"
+                        )
                     current_tree = decision.recommended_tree
                     break
                 if not progressed and not (
@@ -349,6 +427,7 @@ class CorrectiveQueryProcessor:
 
             stats = plan.finish_phase()
             plan.register_state(registry)
+            peak_state_tuples = max(peak_state_tuples, plan.peak_state_tuples())
             monitor.observe(plan, cursors)
             phase_manager.finish_current(
                 ended_at=clock.now,
@@ -415,5 +494,10 @@ class CorrectiveQueryProcessor:
                 # statistics sharing by the serving layer.
                 "observed_statistics": monitor.observed,
                 "seeded_statistics": seed_statistics is not None,
+                "order_adaptive": self.order_adaptive,
+                # Physical join algorithm per node, per phase (shows
+                # hash↔merge switches), and the peak resident join state.
+                "phase_join_algorithms": phase_algorithms,
+                "peak_state_tuples": peak_state_tuples,
             },
         )

@@ -44,21 +44,33 @@ class ExecutionMonitor:
     ) -> ObservedStatistics:
         """Fold the plan's current counters into the accumulated statistics."""
         leaf_counts = plan.leaf_counts()
+        exhausted_sources: dict[str, bool] = {}
         for relation, binding in plan.leaves.items():
             cursor = cursors[relation]
+            exhausted = cursor.exhausted and cursor.peek_arrival() is None
+            exhausted_sources[relation] = exhausted
             self.observed.record_source(
                 relation,
                 tuples_read=cursor.consumed,
                 tuples_passed=binding.tuples_passed,
-                exhausted=cursor.exhausted and cursor.peek_arrival() is None,
+                exhausted=exhausted,
             )
+            for attribute, detector in cursor.order_detectors.items():
+                self.observed.record_ordering(relation, attribute, detector)
         for relations, selectivity in plan.observed_selectivities().items():
             # Only trust selectivities once a meaningful amount of data has
-            # flowed through the subexpression.
+            # flowed through the subexpression — or once every participating
+            # source is fully exhausted, in which case the observation is
+            # *exact* no matter how tiny the inputs are (a 5-row dimension
+            # table that has been read to the end yields a final
+            # selectivity, which the old >= 10 threshold silently discarded).
             inputs_seen = min(
                 (leaf_counts.get(rel, 0) for rel in relations), default=0
             )
-            if inputs_seen >= 10:
+            all_exhausted = all(
+                exhausted_sources.get(rel, False) for rel in relations
+            )
+            if inputs_seen >= 10 or (inputs_seen >= 1 and all_exhausted):
                 self.observed.record_selectivity(relations, selectivity)
         self._flag_multiplicative_joins(plan, leaf_counts)
         self.snapshots.append(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
+from repro.engine.pipelined_merge import PipelinedMergeJoinNode
 from repro.engine.state.hash_table import HashTableState
 from repro.engine.state.registry import StateRegistry, expression_signature
 from repro.optimizer.plans import JoinTree, PlanError
@@ -62,6 +63,36 @@ class SourceCursor:
         self._stream_done = False
         self.consumed = 0
         self.exhausted = False
+        #: order detectors fed with every consumed tuple, keyed by attribute
+        #: (empty unless :meth:`ensure_order_detector` was called, so the
+        #: non-adaptive fast paths stay unchanged)
+        self._order_detectors: dict[str, tuple[int, object]] = {}
+
+    # -- order tracking ----------------------------------------------------------
+
+    def ensure_order_detector(self, attribute: str, tolerance: float = 0.0):
+        """Attach (idempotently) an order detector to ``attribute``.
+
+        The detector observes every tuple consumed through this cursor — in
+        stream order, regardless of batching — and persists across plan
+        phases because the cursor itself does.  Returns the detector.
+        """
+        from repro.stats.order_detector import OrderDetector
+
+        entry = self._order_detectors.get(attribute)
+        if entry is None:
+            entry = (self.schema.position(attribute), OrderDetector(tolerance=tolerance))
+            self._order_detectors[attribute] = entry
+        return entry[1]
+
+    @property
+    def order_detectors(self) -> dict[str, object]:
+        """Attribute → detector mapping (read by the execution monitor)."""
+        return {attr: entry[1] for attr, entry in self._order_detectors.items()}
+
+    def _observe_order(self, row: tuple) -> None:
+        for position, detector in self._order_detectors.values():
+            detector.add(row[position])
 
     @staticmethod
     def _open(source, prefetch: int) -> Iterator[list[tuple[tuple, float]]]:
@@ -113,6 +144,8 @@ class SourceCursor:
             return None
         item = self._buffer.popleft()
         self.consumed += 1
+        if self._order_detectors:
+            self._observe_order(item[0])
         return item
 
     def read_batch(self, max_count: int) -> tuple[list[tuple], float | None]:
@@ -136,6 +169,9 @@ class SourceCursor:
                 row, last_arrival = buffer.popleft()
                 rows.append(row)
         self.consumed += len(rows)
+        if self._order_detectors:
+            for row in rows:
+                self._observe_order(row)
         return rows, last_arrival
 
     def read_zero_batch(self, max_count: int) -> list[tuple]:
@@ -158,11 +194,16 @@ class SourceCursor:
                     break
                 rows.append(buffer.popleft()[0])
         self.consumed += len(rows)
+        if self._order_detectors:
+            for row in rows:
+                self._observe_order(row)
         return rows
 
 
 class PipelinedJoinNode:
     """One symmetric hash join inside the push network."""
+
+    algorithm = "hash"
 
     def __init__(
         self,
@@ -280,6 +321,13 @@ class PipelinedJoinNode:
             metrics.tuples_output += 1
             self.sink(combined)
 
+    def peak_state_tuples(self) -> int:
+        """Peak resident build-side tuples (hash tables only ever grow)."""
+        return len(self.left_state) + len(self.right_state)
+
+    def state_tuples(self) -> int:
+        return len(self.left_state) + len(self.right_state)
+
 
 @dataclass
 class LeafBinding:
@@ -332,7 +380,13 @@ class PipelinedPlan:
         cost_model: CostModel | None = None,
         batch_size: int | None = None,
         output_sink_batch: Callable[[list[tuple]], None] | None = None,
+        join_strategies: dict | None = None,
     ) -> None:
+        """``join_strategies`` optionally maps a node's relation set to a
+        :class:`~repro.optimizer.ordering.JoinStrategy`; nodes mapped to the
+        ``"merge"`` algorithm are built as
+        :class:`~repro.engine.pipelined_merge.PipelinedMergeJoinNode` instead
+        of symmetric hash joins (the order-adaptive physical strategy)."""
         if join_tree.relations() != frozenset(query.relations):
             raise PlanError(
                 f"join tree {join_tree} does not cover the relations of query {query.name}"
@@ -344,6 +398,7 @@ class PipelinedPlan:
         self.cursors = cursors
         self.phase_id = phase_id
         self.batch_size = batch_size
+        self.join_strategies = dict(join_strategies) if join_strategies else {}
         self.metrics = metrics if metrics is not None else ExecutionMetrics()
         self.cost_model = cost_model or CostModel()
         self.clock = clock if clock is not None else SimulatedClock(self.cost_model)
@@ -413,9 +468,21 @@ class PipelinedPlan:
             )
             residual_fn = residual.compile(left_schema.concat(right_schema))
 
-        node = PipelinedJoinNode(
-            left_schema, right_schema, left_key, right_key, residual_fn, self.metrics
-        )
+        strategy = self.join_strategies.get(left_relations | right_relations)
+        if strategy is not None and strategy.algorithm == "merge":
+            node = PipelinedMergeJoinNode(
+                left_schema,
+                right_schema,
+                left_key,
+                right_key,
+                residual_fn,
+                self.metrics,
+                direction=strategy.direction,
+            )
+        else:
+            node = PipelinedJoinNode(
+                left_schema, right_schema, left_key, right_key, residual_fn, self.metrics
+            )
         node.left_relations = left_relations
         node.right_relations = right_relations
         node.parent = parent
@@ -851,6 +918,19 @@ class PipelinedPlan:
     def node_output_counts(self) -> dict[frozenset, int]:
         return {node.relations: node.output_count for node in self.nodes}
 
+    def join_algorithms(self) -> dict[frozenset, str]:
+        """Physical algorithm each join node of this phase runs."""
+        return {node.relations: node.algorithm for node in self.nodes}
+
+    def peak_state_tuples(self) -> int:
+        """Peak simultaneously-resident join-state tuples across all nodes.
+
+        Hash nodes only grow, so their current size is their peak; merge
+        nodes report the peak of their bounded active windows (archived
+        tuples model spilled partitions and are excluded).
+        """
+        return sum(node.peak_state_tuples() for node in self.nodes)
+
     # -- state registration for stitch-up --------------------------------------
 
     def register_state(self, registry: StateRegistry) -> None:
@@ -886,10 +966,12 @@ class PipelinedExecutor:
         sources: dict[str, object],
         cost_model: CostModel | None = None,
         batch_size: int | None = None,
+        join_strategies: dict | None = None,
     ) -> None:
         self.sources = dict(sources)
         self.cost_model = cost_model or CostModel()
         self.batch_size = batch_size
+        self.join_strategies = join_strategies
 
     def execute(
         self,
@@ -928,6 +1010,7 @@ class PipelinedExecutor:
             self.cost_model,
             batch_size=self.batch_size,
             output_sink_batch=collected.extend,
+            join_strategies=self.join_strategies,
         )
         if query.aggregation is not None:
             # The accumulator needs the join output schema, which depends on

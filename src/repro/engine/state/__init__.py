@@ -18,6 +18,7 @@ from repro.engine.state.list_state import ListState
 from repro.engine.state.sorted_list import SortedListState
 from repro.engine.state.hash_table import HashTableState
 from repro.engine.state.hash_sorted import SortedHashState
+from repro.engine.state.sorted_run import SortedRunState
 from repro.engine.state.btree import BPlusTreeState
 from repro.engine.state.registry import StateRegistry, RegistryEntry, expression_signature
 
@@ -28,6 +29,7 @@ __all__ = [
     "SortedListState",
     "HashTableState",
     "SortedHashState",
+    "SortedRunState",
     "BPlusTreeState",
     "StateRegistry",
     "RegistryEntry",

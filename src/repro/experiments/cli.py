@@ -9,6 +9,7 @@ Regenerate any of the paper's tables/figures without going through pytest::
     python -m repro.experiments.cli sec4.5        # selectivity prediction
     python -m repro.experiments.cli ablations     # sensitivity sweeps
     python -m repro.experiments.cli serve-bench   # multi-query serving layer
+    python -m repro.experiments.cli order-bench   # order-adaptive joins
     python -m repro.experiments.cli all           # every paper figure/table
 
 Use ``--scale`` to trade runtime for fidelity (default 0.003), ``--seed``
@@ -16,7 +17,10 @@ for a different deterministic instance, and ``--batch-size N`` to run the
 engines batch-at-a-time (identical results, much faster regeneration).
 ``serve-bench`` additionally honours ``--serve-queries`` (concurrent query
 count, default 8), ``--serve-wireless`` and ``--bench-output`` (write the
-JSON benchmark record, e.g. ``BENCH_pr2.json``).
+JSON benchmark record, e.g. ``BENCH_pr2.json``).  ``order-bench`` compares
+hash-only against order-adaptive corrective processing over sorted /
+near-sorted / unordered / lying-promise source mixes and honours
+``--bench-output`` (e.g. ``BENCH_pr3.json``).
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.experiments.corrective import (
     run_corrective_comparison,
     stitchup_breakdown,
 )
+from repro.experiments.order_bench import order_bench_rows, run_order_benchmark
 from repro.experiments.preaggregation import run_preaggregation_comparison
 from repro.experiments.selectivity import run_selectivity_prediction
 from repro.experiments.serving_bench import (
@@ -149,6 +154,37 @@ def run_serve_bench(
     print("serving-vs-solo verification: all result multisets identical")
 
 
+def run_order_bench(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    output: str | None = None,
+) -> None:
+    result = run_order_benchmark(
+        scale_factor=scale, seed=seed, batch_size=batch_size
+    )
+    _print(
+        "Order-adaptive joins — hash-only vs adaptive per source mix",
+        format_table(order_bench_rows(result)),
+    )
+    if output is not None:
+        path = pathlib.Path(output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbenchmark record written to {path}")
+    if not result["all_verified"]:
+        raise SystemExit(
+            "order-bench verification FAILED: adaptive and hash-only result "
+            "multisets differ"
+        )
+    print("adaptive-vs-hash verification: all result multisets identical")
+    if not result["sorted_scenarios_beat_hash"]:
+        raise SystemExit(
+            "order-bench acceptance FAILED: merge strategy did not beat "
+            "hash-only on the sorted scenarios"
+        )
+    print("sorted scenarios: merge strategy beat hash-only on time and state")
+
+
 EXPERIMENTS: dict[str, Callable[[float, int, int | None], None]] = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -166,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["serve-bench", "all"],
+        choices=sorted(EXPERIMENTS) + ["serve-bench", "order-bench", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -223,6 +259,13 @@ def main(argv: list[str] | None = None) -> int:
             args.batch_size,
             num_queries=args.serve_queries,
             wireless=args.serve_wireless,
+            output=args.bench_output,
+        )
+    elif args.experiment == "order-bench":
+        run_order_bench(
+            args.scale,
+            args.seed,
+            args.batch_size,
             output=args.bench_output,
         )
     elif args.experiment == "all":

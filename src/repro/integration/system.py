@@ -133,7 +133,10 @@ class AdaptiveIntegrationSystem:
         ``"plan_partitioning"``.  Every strategy accepts ``batch_size``:
         ``None`` (default) executes tuple-at-a-time as in the paper, an
         integer executes batch-at-a-time with identical results and work
-        accounting but far lower per-tuple interpreter overhead.
+        accounting but far lower per-tuple interpreter overhead.  The
+        ``"corrective"`` strategy additionally accepts
+        ``order_adaptive=True`` to detect source order at runtime and run /
+        switch to streaming merge joins on (near-)sorted inputs.
         """
         if strategy not in _STRATEGIES:
             raise UnknownStrategyError(
@@ -195,7 +198,8 @@ class AdaptiveIntegrationSystem:
         while serving one query inform the plans of the next.  Pass a
         ``stats_cache`` to carry learned statistics across successive
         ``serve`` calls.  Remaining keyword ``options`` go to the server
-        (``polling_interval_seconds``, ``switch_threshold``, …).
+        (``polling_interval_seconds``, ``switch_threshold``,
+        ``order_adaptive``, …).
 
         Each query's result multiset is identical to what a solo
         ``execute(query, strategy="corrective")`` run would return; only the

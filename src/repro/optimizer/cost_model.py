@@ -47,15 +47,39 @@ class PlanCostModel:
         query: SPJAQuery,
         tree: JoinTree,
         estimator: SelectivityEstimator,
+        join_strategies: dict | None = None,
     ) -> CostEstimate:
-        """Cost of executing ``tree`` with symmetric hash joins, plus final aggregation."""
+        """Cost of executing ``tree``, plus final aggregation.
+
+        Nodes default to symmetric hash joins; ``join_strategies`` (relation
+        set → :class:`~repro.optimizer.ordering.JoinStrategy`) marks nodes
+        that run the order-adaptive streaming merge join instead, whose
+        in-order tuples cost two comparisons rather than a hash insert +
+        probe — the same asymmetry the engine charges at runtime.
+        """
         cardinalities: dict[frozenset, float] = {}
-        cost, cardinality = self._tree_cost(query, tree, estimator, cardinalities)
+        cost, cardinality = self._tree_cost(
+            query, tree, estimator, cardinalities, join_strategies
+        )
         if query.aggregation is not None:
             cost += cardinality * self.cost_model.aggregate_update * max(
                 len(query.aggregation.aggregates), 1
             )
         return CostEstimate(cost, cardinality, cardinalities)
+
+    def _merge_side_cost(self, cardinality: float, in_order_fraction: float) -> float:
+        """Per-input cost of one merge-join side.
+
+        In-order arrivals pay an ordered insert + ordered probe (two
+        comparisons); the out-of-order remainder detours through the archived
+        partition at hash rates — mirroring the runtime charges of
+        :class:`~repro.engine.pipelined_merge.PipelinedMergeJoinNode`.
+        """
+        model = self.cost_model
+        per_tuple = 2 * model.comparison
+        late = min(max(1.0 - in_order_fraction, 0.0), 1.0)
+        per_tuple += late * (model.hash_insert + model.hash_probe)
+        return cardinality * per_tuple
 
     def _tree_cost(
         self,
@@ -63,6 +87,7 @@ class PlanCostModel:
         tree: JoinTree,
         estimator: SelectivityEstimator,
         cardinalities: dict[frozenset, float],
+        join_strategies: dict | None = None,
     ) -> tuple[float, float]:
         relations = tree.relations()
         if tree.is_leaf:
@@ -73,18 +98,31 @@ class PlanCostModel:
             cost = base * (self.cost_model.tuple_read + self.cost_model.predicate_eval)
             return cost, cardinality
 
-        left_cost, left_card = self._tree_cost(query, tree.left, estimator, cardinalities)
-        right_cost, right_card = self._tree_cost(query, tree.right, estimator, cardinalities)
+        left_cost, left_card = self._tree_cost(
+            query, tree.left, estimator, cardinalities, join_strategies
+        )
+        right_cost, right_card = self._tree_cost(
+            query, tree.right, estimator, cardinalities, join_strategies
+        )
         cardinality = estimator.estimate_cardinality(relations)
         cardinalities[relations] = cardinality
 
         model = self.cost_model
-        # Symmetric hash join: every input tuple is inserted into its own hash
-        # table and probes the other side's table; every output tuple is copied.
-        join_cost = (
-            (left_card + right_card) * (model.hash_insert + model.hash_probe)
-            + cardinality * model.tuple_copy
-        )
+        strategy = join_strategies.get(relations) if join_strategies else None
+        if strategy is not None and strategy.algorithm == "merge":
+            join_cost = (
+                self._merge_side_cost(left_card, strategy.left_in_order)
+                + self._merge_side_cost(right_card, strategy.right_in_order)
+                + cardinality * model.tuple_copy
+            )
+        else:
+            # Symmetric hash join: every input tuple is inserted into its own
+            # hash table and probes the other side's table; every output
+            # tuple is copied.
+            join_cost = (
+                (left_card + right_card) * (model.hash_insert + model.hash_probe)
+                + cardinality * model.tuple_copy
+            )
         return left_cost + right_cost + join_cost, cardinality
 
     # -- physical plans --------------------------------------------------------------

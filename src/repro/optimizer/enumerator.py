@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.engine.cost import CostModel
 from repro.optimizer.cost_model import CostEstimate, PlanCostModel
+from repro.optimizer.ordering import OrderingKnowledge, plan_join_strategies
 from repro.optimizer.plans import JoinTree, PhysicalPlan, PreAggPoint
 from repro.optimizer.rewrite import find_preaggregation_points
 from repro.optimizer.statistics import ObservedStatistics, SelectivityEstimator
@@ -39,11 +40,16 @@ class JoinEnumerator:
         estimator: SelectivityEstimator,
         cost_model: CostModel | None = None,
         bushy: bool = True,
+        ordering: OrderingKnowledge | None = None,
     ) -> None:
+        """``ordering`` enables order-adaptive enumeration: every candidate
+        tree is costed with the merge strategy on its order-eligible nodes,
+        so a tree that lines up sorted inputs can win on cost."""
         self.query = query
         self.estimator = estimator
         self.plan_cost_model = PlanCostModel(cost_model)
         self.bushy = bushy
+        self.ordering = ordering
         self._memo: dict[frozenset, _MemoEntry] = {}
 
     # -- public API -------------------------------------------------------------
@@ -56,9 +62,26 @@ class JoinEnumerator:
         """Memo entry (tree, cost, cardinality) for the full relation set."""
         return self._best(frozenset(self.query.relations))
 
-    def cost_of(self, tree: JoinTree) -> CostEstimate:
-        """Cost of a specific (externally supplied) join tree."""
-        return self.plan_cost_model.estimate_tree(self.query, tree, self.estimator)
+    def strategies_for(self, tree: JoinTree) -> dict[frozenset, object] | None:
+        """Order-adaptive strategy assignment for ``tree`` (None without knowledge)."""
+        if self.ordering is None:
+            return None
+        return plan_join_strategies(self.query, tree, self.ordering)
+
+    def cost_of(
+        self, tree: JoinTree, join_strategies: dict | None = None
+    ) -> CostEstimate:
+        """Cost of a specific (externally supplied) join tree.
+
+        Without an explicit ``join_strategies`` map the enumerator's own
+        ordering knowledge (if any) picks the strategies; pass a map to cost
+        a concrete running configuration instead.
+        """
+        if join_strategies is None:
+            join_strategies = self.strategies_for(tree)
+        return self.plan_cost_model.estimate_tree(
+            self.query, tree, self.estimator, join_strategies
+        )
 
     # -- enumeration ------------------------------------------------------------
 
@@ -130,7 +153,9 @@ class JoinEnumerator:
             left_entry = self._best(left_set)
             right_entry = self._best(right_set)
             tree = JoinTree.join(left_entry.tree, right_entry.tree)
-            estimate = self.plan_cost_model.estimate_tree(self.query, tree, self.estimator)
+            estimate = self.plan_cost_model.estimate_tree(
+                self.query, tree, self.estimator, self.strategies_for(tree)
+            )
             if best is None or estimate.total_cost < best.cost:
                 best = _MemoEntry(tree, estimate.total_cost, estimate.output_cardinality)
         if best is None:
@@ -169,6 +194,7 @@ class Optimizer:
         query: SPJAQuery,
         observed: ObservedStatistics | None = None,
         preaggregation: str | None = None,
+        ordering: OrderingKnowledge | None = None,
     ) -> PhysicalPlan:
         """Pick the cheapest plan for ``query``.
 
@@ -176,10 +202,13 @@ class Optimizer:
         ``None`` (no pre-aggregation), ``"window"`` (adjustable-window
         operators at every applicable point — the paper's low-risk default),
         or ``"traditional"`` (blocking pre-aggregates, only where the cost
-        model estimates a benefit).
+        model estimates a benefit).  ``ordering`` enables order-adaptive
+        enumeration (merge-join strategies on order-eligible nodes).
         """
         estimator = self.make_estimator(query, observed)
-        enumerator = JoinEnumerator(query, estimator, self.cost_model, self.bushy)
+        enumerator = JoinEnumerator(
+            query, estimator, self.cost_model, self.bushy, ordering=ordering
+        )
         tree = enumerator.best_tree()
         estimate = enumerator.cost_of(tree)
         preagg_points: tuple[PreAggPoint, ...] = ()
@@ -200,10 +229,13 @@ class Optimizer:
         )
 
     def optimize_tree(
-        self, query: SPJAQuery, observed: ObservedStatistics | None = None
+        self,
+        query: SPJAQuery,
+        observed: ObservedStatistics | None = None,
+        ordering: OrderingKnowledge | None = None,
     ) -> JoinTree:
         """Shortcut returning only the chosen join tree."""
-        return self.optimize(query, observed).join_tree
+        return self.optimize(query, observed, ordering=ordering).join_tree
 
     def cost_of_tree(
         self,

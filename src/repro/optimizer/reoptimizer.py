@@ -11,11 +11,16 @@ margin (switching has a cost: the eventual stitch-up work).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine.cost import CostModel
 from repro.optimizer.cost_model import PlanCostModel
 from repro.optimizer.enumerator import JoinEnumerator
+from repro.optimizer.ordering import (
+    OrderingKnowledge,
+    algorithms_of,
+    refresh_strategies,
+)
 from repro.optimizer.plans import JoinTree
 from repro.optimizer.statistics import ObservedStatistics, SelectivityEstimator
 from repro.relational.algebra import SPJAQuery
@@ -32,6 +37,14 @@ class ReOptimizationDecision:
     current_cost: float
     recommended_cost: float
     remaining_fraction: float
+    #: order-adaptive physical strategies (relation set → JoinStrategy) of
+    #: the running plan and of the recommendation; empty when order
+    #: adaptivity is off
+    current_strategies: dict = field(default_factory=dict)
+    recommended_strategies: dict = field(default_factory=dict)
+    #: whether the recommended tree is structurally identical to the running
+    #: one (a switch with ``same_tree`` changes only the physical strategies)
+    same_tree: bool = False
 
     @property
     def improvement(self) -> float:
@@ -39,6 +52,13 @@ class ReOptimizationDecision:
         if self.current_cost <= 0:
             return 0.0
         return max(0.0, 1.0 - self.recommended_cost / self.current_cost)
+
+    @property
+    def strategies_changed(self) -> bool:
+        """True when only/also the physical join strategies would change."""
+        return algorithms_of(self.current_strategies) != algorithms_of(
+            self.recommended_strategies
+        )
 
 
 class ReOptimizer:
@@ -52,6 +72,7 @@ class ReOptimizer:
         bushy: bool = True,
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         stitchup_cost_weight: float = 1.0,
+        order_adaptive: bool = False,
     ) -> None:
         """``switch_threshold``: recommend a switch only when the alternative's
         estimated remaining cost is below ``threshold * current remaining cost``.
@@ -63,6 +84,13 @@ class ReOptimizer:
         ``weight * completed_fraction`` of its full cost on top of its
         remaining cost.  ``0.0`` reproduces the (buggy) memoryless comparison
         in which remaining progress cancels out of the switch decision.
+
+        ``order_adaptive=True`` folds runtime order observations into every
+        evaluation: alternatives are costed with merge joins on their
+        order-eligible nodes, and a switch can be recommended even for the
+        *same* join tree when only the physical strategies should change
+        (the mid-flight hash→merge switch — or merge→hash once a promised
+        ordering is exposed as a lie).
         """
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
@@ -70,6 +98,7 @@ class ReOptimizer:
         self.bushy = bushy
         self.default_cardinality = default_cardinality
         self.stitchup_cost_weight = stitchup_cost_weight
+        self.order_adaptive = order_adaptive
         self.plan_cost_model = PlanCostModel(self.cost_model)
         self.invocations = 0
 
@@ -114,14 +143,42 @@ class ReOptimizer:
         query: SPJAQuery,
         current_tree: JoinTree,
         observed: ObservedStatistics,
+        current_strategies: dict | None = None,
     ) -> ReOptimizationDecision:
-        """Compare the running tree against the best alternative under new stats."""
+        """Compare the running configuration against the best alternative.
+
+        ``current_strategies`` describes the physical strategies the running
+        plan actually uses; its merge nodes are re-costed with *current*
+        in-order fractions (a promise-based merge choice over a source that
+        turned out unordered is charged what it is really paying), while the
+        recommendation gets a fresh strategy assignment from the latest
+        ordering knowledge.
+        """
         self.invocations += 1
         estimator = self._estimator(query, observed)
-        enumerator = JoinEnumerator(query, estimator, self.cost_model, self.bushy)
-        current_estimate = enumerator.cost_of(current_tree)
+        ordering = (
+            OrderingKnowledge.gather(self.catalog, query, observed)
+            if self.order_adaptive
+            else None
+        )
+        enumerator = JoinEnumerator(
+            query, estimator, self.cost_model, self.bushy, ordering=ordering
+        )
+        if ordering is not None:
+            running_strategies = refresh_strategies(
+                query, current_tree, current_strategies or {}, ordering
+            )
+            current_estimate = enumerator.cost_of(
+                current_tree, join_strategies=running_strategies
+            )
+        else:
+            running_strategies = dict(current_strategies or {})
+            current_estimate = enumerator.cost_of(
+                current_tree, join_strategies=running_strategies or None
+            )
         best_tree = enumerator.best_tree()
-        best_estimate = enumerator.cost_of(best_tree)
+        best_strategies = enumerator.strategies_for(best_tree) or {}
+        best_estimate = enumerator.cost_of(best_tree, join_strategies=best_strategies)
         remaining = self._remaining_fraction(query, observed, estimator)
 
         # Cost to finish with the current plan: the unread fraction of the
@@ -135,16 +192,25 @@ class ReOptimizer:
         # and progress cancels out of the switch decision entirely, so a
         # nearly finished query looks exactly as switch-worthy as a fresh one.
         completed = 1.0 - remaining
-        current_remaining_cost = current_estimate.total_cost * remaining
-        best_remaining_cost = best_estimate.total_cost * (
-            remaining + self.stitchup_cost_weight * completed
-        )
-
         same_tree = best_tree.leaf_order() == current_tree.leaf_order() and str(
             best_tree
         ) == str(current_tree)
+        stitchup_weight = self.stitchup_cost_weight
+        if same_tree:
+            # Strategy-only switch (e.g. hash→merge on the same tree): every
+            # partition of the old and new phase is keyed and shaped
+            # identically, so the stitch-up reuses state without re-keying —
+            # materially cheaper than stitching across different join orders.
+            stitchup_weight *= 0.5
+        current_remaining_cost = current_estimate.total_cost * remaining
+        best_remaining_cost = best_estimate.total_cost * (
+            remaining + stitchup_weight * completed
+        )
+        same_strategies = algorithms_of(running_strategies) == algorithms_of(
+            best_strategies
+        )
         switch = (
-            not same_tree
+            (not same_tree or not same_strategies)
             and remaining > 0.02
             and best_remaining_cost < self.switch_threshold * current_remaining_cost
         )
@@ -155,4 +221,7 @@ class ReOptimizer:
             current_cost=current_remaining_cost,
             recommended_cost=best_remaining_cost,
             remaining_fraction=remaining,
+            current_strategies=running_strategies,
+            recommended_strategies=best_strategies,
+            same_tree=same_tree,
         )

@@ -17,7 +17,7 @@ The paper's re-estimation scheme (Section 4.2) drives everything here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping
 
 from repro.relational.algebra import SPJAQuery
@@ -56,6 +56,52 @@ class SourceObservation:
 
 
 @dataclass
+class OrderingObservation:
+    """What is known about one source attribute's arrival order.
+
+    Combines the provider's *promise* (``promised_direction``, from
+    ``TableStatistics.sorted_on``) with what a per-cursor
+    :class:`~repro.stats.order_detector.OrderDetector` actually observed.
+    ``direction`` is ``+1``/``-1`` for a (near-)sorted stream, ``None`` when
+    unknown (``observed <= 1``) or verified unordered (``observed > 1``).
+    ``in_order_fraction`` is the fraction of arrivals an order-exploiting
+    operator could fast-path (high/low-water based, see
+    ``OrderDetector.in_order_fraction``).
+    """
+
+    relation: str
+    attribute: str
+    observed: int = 0
+    direction: int | None = None
+    in_order_fraction: float = 1.0
+    min_value: object = None
+    max_value: object = None
+    promised_direction: int | None = None
+
+    @property
+    def promise_violated(self) -> bool:
+        """True when enough data has arrived to contradict the promise."""
+        return (
+            self.promised_direction is not None
+            and self.observed > 1
+            and self.direction != self.promised_direction
+        )
+
+    def progress_fraction(self, domain_low: float, domain_high: float) -> float | None:
+        """Fraction of ``[domain_low, domain_high]`` the sorted stream covered."""
+        if self.direction is None or self.observed == 0:
+            return None
+        span = domain_high - domain_low
+        if span <= 0:
+            return None
+        if self.direction == -1:
+            fraction = (domain_high - self.min_value) / span
+        else:
+            fraction = (self.max_value - domain_low) / span
+        return min(max(fraction, 0.0), 1.0)
+
+
+@dataclass
 class ObservedStatistics:
     """Everything the monitor has learned during execution so far."""
 
@@ -65,11 +111,49 @@ class ObservedStatistics:
     sources: dict[str, SourceObservation] = field(default_factory=dict)
     #: multiplicative-join blow-up factors keyed by predicate
     multiplicative_factors: dict[frozenset, float] = field(default_factory=dict)
+    #: per-attribute arrival-order knowledge keyed by ``(relation, attribute)``
+    orderings: dict[tuple[str, str], OrderingObservation] = field(default_factory=dict)
 
     # -- update API (called by the execution monitor) --------------------------
 
     def record_selectivity(self, relations: Iterable[str], selectivity: float) -> None:
         self.selectivities[selectivity_key(relations)] = selectivity
+
+    def record_promised_ordering(
+        self, relation: str, attribute: str, direction: int = 1
+    ) -> None:
+        """Note a provider's (unverified) ordering promise for an attribute."""
+        key = (relation, attribute)
+        obs = self.orderings.get(key)
+        if obs is None:
+            obs = OrderingObservation(relation, attribute)
+            self.orderings[key] = obs
+        obs.promised_direction = direction
+        if obs.observed == 0:
+            obs.direction = direction
+
+    def record_ordering(self, relation: str, attribute: str, detector) -> None:
+        """Fold an :class:`OrderDetector`'s current view into the statistics."""
+        key = (relation, attribute)
+        obs = self.orderings.get(key)
+        if obs is None:
+            obs = OrderingObservation(relation, attribute)
+            self.orderings[key] = obs
+        if detector.observed < obs.observed:
+            return  # stale snapshot (e.g. a seeded observation knows more)
+        obs.observed = detector.observed
+        obs.min_value = detector.min_value
+        obs.max_value = detector.max_value
+        if detector.observed <= 1:
+            # Nothing observed yet: an unverified promise keeps standing in.
+            if obs.promised_direction is not None:
+                obs.direction = obs.promised_direction
+            return
+        obs.direction = detector.direction()
+        obs.in_order_fraction = detector.in_order_fraction(obs.direction)
+
+    def ordering_of(self, relation: str, attribute: str) -> OrderingObservation | None:
+        return self.orderings.get((relation, attribute))
 
     def record_source(
         self, relation: str, tuples_read: int, tuples_passed: int, exhausted: bool
@@ -106,6 +190,18 @@ class ObservedStatistics:
             self.multiplicative_factors[key] = max(
                 self.multiplicative_factors.get(key, 1.0), factor
             )
+        for key, ordering in other.orderings.items():
+            existing = self.orderings.get(key)
+            if existing is None or ordering.observed >= existing.observed:
+                promised = (
+                    ordering.promised_direction
+                    if ordering.promised_direction is not None
+                    else (existing.promised_direction if existing else None)
+                )
+                merged = replace(ordering, promised_direction=promised)
+                self.orderings[key] = merged
+            elif ordering.promised_direction is not None:
+                existing.promised_direction = ordering.promised_direction
 
 
 class SelectivityEstimator:
@@ -113,6 +209,11 @@ class SelectivityEstimator:
 
     #: default selectivity applied to single-relation selection predicates
     DEFAULT_SELECTION_SELECTIVITY = 0.3
+    #: order observations need this many arrivals before the sorted-input
+    #: cardinality extrapolation (Section 4.5) is trusted
+    MIN_ORDERED_OBSERVATIONS = 24
+    #: and the stream must have advanced this far through its promised domain
+    MIN_ORDERED_PROGRESS = 0.05
 
     def __init__(
         self,
@@ -133,8 +234,10 @@ class SelectivityEstimator:
         """Estimated *full* cardinality of a source relation.
 
         Preference order: exact count when the source has been exhausted;
-        published catalog statistics; the default assumption — never less
-        than what has already been read.
+        sorted-input extrapolation (tuples read so far divided by how far the
+        observed-sorted stream has advanced through its promised key domain,
+        Section 4.5); published catalog statistics; the default assumption —
+        never less than what has already been read.
         """
         obs = self.observed.source(relation)
         if obs is not None and obs.exhausted:
@@ -144,10 +247,55 @@ class SelectivityEstimator:
             published = stats.cardinality
         else:
             published = None
-        estimate = float(published) if published is not None else float(self.default_cardinality)
+        extrapolated = self._sorted_extrapolation(relation)
+        if extrapolated is not None:
+            estimate = extrapolated
+        elif published is not None:
+            estimate = float(published)
+        else:
+            estimate = float(self.default_cardinality)
         if obs is not None:
             estimate = max(estimate, obs.tuples_read)
         return max(estimate, 1.0)
+
+    def _sorted_extrapolation(self, relation: str) -> float | None:
+        """Cardinality prediction for a (near-)sorted, partially-read source.
+
+        When the stream of ``relation.attr`` is observed sorted and the
+        catalog publishes the attribute's value domain, the fraction of the
+        domain covered so far estimates the fraction of the relation already
+        read — often far more accurate than a stale published cardinality.
+
+        Both the numerator and the progress fraction come from the *same*
+        ordering observation (``ordering.observed`` tuples advanced the
+        stream to ``min/max_value``), never from this query's own read
+        counter: an observation seeded from another query's detector (the
+        serving layer's statistics cache) describes a further-advanced
+        stream, and dividing a fresh query's small ``tuples_read`` by the
+        donor's near-complete progress would collapse the estimate to
+        roughly the tuples read so far.
+        """
+        if relation not in self.catalog:
+            return None
+        stats = self.catalog.statistics(relation)
+        if not stats.attribute_ranges:
+            return None
+        best: tuple[int, float] | None = None  # (observed, estimate)
+        for (rel, attr), ordering in self.observed.orderings.items():
+            if rel != relation or ordering.direction is None:
+                continue
+            if ordering.observed < self.MIN_ORDERED_OBSERVATIONS:
+                continue
+            domain = stats.attribute_range(attr)
+            if domain is None:
+                continue
+            progress = ordering.progress_fraction(domain[0], domain[1])
+            if progress is None or progress < self.MIN_ORDERED_PROGRESS:
+                continue
+            estimate = ordering.observed / progress
+            if best is None or ordering.observed > best[0]:
+                best = (ordering.observed, estimate)
+        return best[1] if best is not None else None
 
     def selected_cardinality(self, relation: str) -> float:
         """Cardinality of a base relation after its pushed-down selection."""

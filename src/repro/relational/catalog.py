@@ -34,12 +34,20 @@ class TableStatistics:
     distinct_counts: dict[str, int] = field(default_factory=dict)
     sorted_on: tuple[str, ...] = ()
     key_attributes: tuple[str, ...] = ()
+    #: promised ``[low, high]`` value domains per attribute.  Together with a
+    #: runtime order observation these enable the Section 4.5 sorted-input
+    #: predictor: how far a sorted stream has advanced through its domain
+    #: estimates what fraction of the relation has been read.
+    attribute_ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
 
     def with_cardinality(self, cardinality: int) -> "TableStatistics":
         return replace(self, cardinality=cardinality)
 
     def distinct(self, attribute: str) -> int | None:
         return self.distinct_counts.get(attribute)
+
+    def attribute_range(self, attribute: str) -> tuple[float, float] | None:
+        return self.attribute_ranges.get(attribute)
 
     def is_sorted_on(self, attribute: str) -> bool:
         return attribute in self.sorted_on

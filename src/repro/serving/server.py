@@ -152,13 +152,18 @@ class QueryServer:
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         stats_cache: SharedStatisticsCache | None = None,
         share_statistics: bool = True,
+        order_adaptive: bool = False,
     ) -> None:
         """``quantum_tuples`` is the scheduling granularity: how many source
         tuples one grant may process before control returns to the scheduler
         (it doubles as each session's re-optimization ``poll_step_limit``).
         ``share_statistics=False`` disables cross-query seeding while keeping
-        the cache's learning (useful for ablations).  The remaining knobs are
-        forwarded to each session's :class:`CorrectiveQueryProcessor`.
+        the cache's learning (useful for ablations).  ``order_adaptive=True``
+        turns on order-adaptive join processing in every session; discovered
+        orderings travel through the shared statistics cache, so an order
+        learned while serving one query lets later queries start on merge
+        joins immediately.  The remaining knobs are forwarded to each
+        session's :class:`CorrectiveQueryProcessor`.
         """
         if quantum_tuples < 1:
             raise ValueError("quantum_tuples must be positive")
@@ -177,6 +182,7 @@ class QueryServer:
         self.default_cardinality = default_cardinality
         self.stats_cache = stats_cache or SharedStatisticsCache()
         self.share_statistics = share_statistics
+        self.order_adaptive = order_adaptive
         self.clock = SimulatedClock(self.cost_model)
         self._sessions: list[QuerySession] = []
         self._turn = 0
@@ -218,6 +224,7 @@ class QueryServer:
             default_cardinality=self.default_cardinality,
             bushy=self.bushy,
             batch_size=self.batch_size,
+            order_adaptive=self.order_adaptive,
         )
         self._sessions.append(
             QuerySession(

@@ -54,6 +54,10 @@ class SharedStatisticsCache:
         self.multiplicative_factors: dict[frozenset, float] = (
             self._observed.multiplicative_factors
         )
+        #: discovered arrival orderings keyed by (relation, attribute) — a
+        #: live view; later queries inherit them so an order discovered once
+        #: lets the very first phase of the next query run merge joins
+        self.orderings = self._observed.orderings
         #: exact cardinalities of sources some query has fully consumed
         self.cardinalities: dict[str, int] = {}
         #: attribute histograms keyed by ``(relation, attribute)``
@@ -78,7 +82,14 @@ class SharedStatisticsCache:
         for key, factor in self.multiplicative_factors.items():
             if all(relation in relations for relation, _attr in key):
                 seed.multiplicative_factors[key] = factor
-        if not seed.selectivities and not seed.multiplicative_factors:
+        for (relation, attribute), ordering in self.orderings.items():
+            if relation in relations:
+                seed.orderings[(relation, attribute)] = ordering
+        if (
+            not seed.selectivities
+            and not seed.multiplicative_factors
+            and not seed.orderings
+        ):
             return None
         self.queries_seeded += 1
         return seed
@@ -139,6 +150,7 @@ class SharedStatisticsCache:
             "selectivities": len(self.selectivities),
             "multiplicative_factors": len(self.multiplicative_factors),
             "cardinalities": len(self.cardinalities),
+            "orderings": len(self.orderings),
             "histograms": len(self.histograms),
             "queries_seeded": self.queries_seeded,
             "queries_absorbed": self.queries_absorbed,

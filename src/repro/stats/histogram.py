@@ -12,7 +12,42 @@ can be reproduced as a measurable quantity.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
+
+
+def _scale_counts(counts: dict[float, int], factor: float) -> dict[float, int]:
+    """Scale integer counts by ``factor`` with largest-remainder rounding.
+
+    The returned counts sum to ``round(sum(counts) * factor)`` exactly, so a
+    scaled histogram's mass stays consistent with its scaled total.  A naive
+    per-count ``max(int(c * factor), 1)`` clamps every count to at least one
+    tuple, which inflates a heavily down-scaled summary with many distinct
+    values by orders of magnitude.  Ties on the fractional part are broken
+    deterministically by value.
+    """
+    if not counts:
+        return {}
+    target = round(sum(counts.values()) * factor)
+    scaled: dict[float, int] = {}
+    remainders: list[tuple[float, float]] = []
+    allocated = 0
+    for value, count in counts.items():
+        exact = count * factor
+        base = int(exact)
+        scaled[value] = base
+        allocated += base
+        remainders.append((exact - base, value))
+    leftover = target - allocated
+    if leftover > 0:
+        remainders.sort(key=lambda item: (-item[0], item[1]))
+        for _fraction, value in remainders[:leftover]:
+            scaled[value] += 1
+    elif leftover < 0:  # pragma: no cover - int() truncation never overshoots
+        remainders.sort(key=lambda item: (item[0], item[1]))
+        for _fraction, value in remainders[: -leftover]:
+            scaled[value] -= 1
+    return scaled
 
 
 @dataclass
@@ -68,6 +103,8 @@ class DynamicCompressedHistogram:
         #: buckets); the exact counts model the incremental maintenance work
         #: the paper charges as histogram overhead.
         self._value_counts: dict[float, int] = {}
+        #: sorted ``low`` bounds of :attr:`buckets`, for binary-search lookup
+        self._bucket_lows: list[float] = []
         self._since_restructure = 0
         #: number of elementary maintenance operations performed, used to
         #: charge histogram overhead in the Section 4.5 experiment
@@ -96,10 +133,29 @@ class DynamicCompressedHistogram:
             self.add(value)
 
     def _find_bucket(self, value: float) -> HistogramBucket | None:
-        for bucket in self.buckets:
-            if bucket.contains(value):
-                return bucket
-        return None
+        """Locate the range bucket containing ``value`` by binary search.
+
+        Buckets are non-overlapping and sorted by ``low``, so the candidate
+        is the last bucket whose ``low`` is <= value — an O(log buckets)
+        lookup on the hot ``add``/``frequency`` path instead of the previous
+        linear scan.  The index is rebuilt lazily so code that replaces
+        :attr:`buckets` wholesale (e.g. ``scaled``) stays correct.
+        """
+        buckets = self.buckets
+        if not buckets:
+            return None
+        lows = self._bucket_lows
+        if len(lows) != len(buckets):
+            lows = self._rebuild_bucket_index()
+        idx = bisect.bisect_right(lows, value) - 1
+        if idx < 0:
+            return None
+        bucket = buckets[idx]
+        return bucket if bucket.contains(value) else None
+
+    def _rebuild_bucket_index(self) -> list[float]:
+        self._bucket_lows = [bucket.low for bucket in self.buckets]
+        return self._bucket_lows
 
     def _restructure(self) -> None:
         """Rebuild singleton and range buckets from the accumulated counts."""
@@ -119,6 +175,7 @@ class DynamicCompressedHistogram:
         remainder.sort(key=lambda item: item[0])
         if not remainder:
             self.buckets = []
+            self._rebuild_bucket_index()
             return
         total = sum(count for _value, count in remainder)
         per_bucket = max(total // range_budget, 1)
@@ -134,6 +191,7 @@ class DynamicCompressedHistogram:
             current.distinct += 1
         buckets.append(current)
         self.buckets = buckets
+        self._rebuild_bucket_index()
         self.maintenance_operations += len(buckets)
 
     def flush(self) -> None:
@@ -189,7 +247,13 @@ class DynamicCompressedHistogram:
         """Return a copy with all counts scaled by ``factor``.
 
         Used to extrapolate a histogram over a partially seen stream to the
-        whole stream ("assume performance is consistent throughout").
+        whole stream ("assume performance is consistent throughout").  Counts
+        are scaled with largest-remainder rounding so the clone's summed mass
+        stays consistent with ``total_count * factor``: the previous
+        ``max(int(c * factor), 1)`` clamp kept every singleton and value
+        count at >= 1 tuple, so heavily down-scaling a summary with many
+        distinct values produced a clone whose mass exceeded its nominal
+        total by orders of magnitude.
         """
         # The singleton_fraction constructor argument is a placeholder (0.0):
         # round-tripping the budget through ``singleton_budget /
@@ -202,13 +266,29 @@ class DynamicCompressedHistogram:
         clone.singleton_budget = self.singleton_budget
         clone.maintenance_operations = self.maintenance_operations
         clone._since_restructure = self._since_restructure
-        clone.total_count = int(self.total_count * factor)
-        clone.singletons = {v: max(int(c * factor), 1) for v, c in self.singletons.items()}
-        clone.buckets = [
-            HistogramBucket(b.low, b.high, max(int(b.count * factor), 1), b.distinct)
-            for b in self.buckets
-        ]
-        clone._value_counts = {
-            v: max(int(c * factor), 1) for v, c in self._value_counts.items()
+        scaled_counts = _scale_counts(self._value_counts, factor)
+        clone.total_count = sum(scaled_counts.values())
+        clone._value_counts = {v: c for v, c in scaled_counts.items() if c > 0}
+        clone.singletons = {
+            v: scaled_counts[v]
+            for v in self.singletons
+            if scaled_counts.get(v, 0) > 0
         }
+        # Re-derive range-bucket counts from the scaled value counts (rather
+        # than scaling each bucket independently): singleton and bucket mass
+        # then partition the scaled total exactly, instead of double-counting
+        # the rounding units the singletons already absorbed.
+        lows = [b.low for b in self.buckets]
+        bucket_counts = [0] * len(self.buckets)
+        for value, count in clone._value_counts.items():
+            if count <= 0 or value in self.singletons:
+                continue
+            idx = bisect.bisect_right(lows, value) - 1
+            if idx >= 0 and self.buckets[idx].contains(value):
+                bucket_counts[idx] += count
+        clone.buckets = [
+            HistogramBucket(b.low, b.high, bucket_counts[i], b.distinct)
+            for i, b in enumerate(self.buckets)
+        ]
+        clone._rebuild_bucket_index()
         return clone

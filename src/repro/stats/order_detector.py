@@ -38,6 +38,13 @@ class OrderDetector:
     observed: int = 0
     ascending_violations: int = 0
     descending_violations: int = 0
+    #: arrivals strictly below the running maximum ("late" for an ascending
+    #: stream) / strictly above the running minimum ("late" for a descending
+    #: one).  Unlike adjacent-pair violations these measure how many tuples
+    #: would miss the in-order fast path of an order-exploiting operator, so
+    #: they are what the merge-join cost comparison consumes.
+    below_highwater: int = 0
+    above_lowwater: int = 0
     last_value: object = None
     min_value: object = None
     max_value: object = None
@@ -52,6 +59,10 @@ class OrderDetector:
                 self.ascending_violations += 1
             if value > self.last_value:
                 self.descending_violations += 1
+            if value < self.max_value:
+                self.below_highwater += 1
+            if value > self.min_value:
+                self.above_lowwater += 1
             if value < self.min_value:
                 self.min_value = value
             if value > self.max_value:
@@ -91,24 +102,59 @@ class OrderDetector:
     def is_sorted(self) -> bool:
         return self.state() in (OrderState.ASCENDING, OrderState.DESCENDING)
 
+    def direction(self) -> int | None:
+        """``+1`` for an ascending stream, ``-1`` for descending, else ``None``."""
+        state = self.state()
+        if state is OrderState.ASCENDING:
+            return 1
+        if state is OrderState.DESCENDING:
+            return -1
+        return None
+
+    def in_order_fraction(self, direction: int | None = None) -> float:
+        """Fraction of arrivals an order-exploiting operator can fast-path.
+
+        For an ascending stream that is the fraction of arrivals at or above
+        the running maximum; descending mirrors it via the running minimum.
+        This is deliberately stricter than :attr:`ascending_fraction`
+        (adjacent-pair violations): a single early high value makes every
+        subsequent smaller arrival "late" for a merge join, even though only
+        one adjacent pair was inverted.
+        """
+        if self.observed <= 1:
+            return 1.0
+        if direction is None:
+            direction = self.direction()
+        comparisons = self.observed - 1
+        if direction == -1:
+            return 1.0 - self.above_lowwater / comparisons
+        return 1.0 - self.below_highwater / comparisons
+
     # -- estimation -----------------------------------------------------------------
 
     def progress_fraction(self, domain_low: float, domain_high: float) -> float | None:
         """How far through ``[domain_low, domain_high]`` a sorted stream has advanced.
 
-        Only meaningful when the stream is (near-)sorted ascending: the
-        fraction of the key domain covered so far is then an estimate of the
-        fraction of the relation that has been read — the quantity the
-        Section 4.5 predictor exploits for sorted inputs.
+        Meaningful when the stream is (near-)sorted: for an ascending stream
+        the fraction of the key domain covered so far estimates the fraction
+        of the relation that has been read — the quantity the Section 4.5
+        predictor exploits for sorted inputs; a descending stream mirrors the
+        computation from the top of the domain.  The merge-join router relies
+        on both directions being supported.
 
-        The high-water mark (``max_value``) is used rather than the last
-        arrival: with ``tolerance > 0`` a stream stays classified ASCENDING
-        through occasional out-of-order values, and a late low arrival must
-        not make the progress estimate jump backwards.
+        The high-water mark (``max_value``; ``min_value`` for descending) is
+        used rather than the last arrival: with ``tolerance > 0`` a stream
+        stays classified sorted through occasional out-of-order values, and a
+        late straggler must not make the progress estimate jump backwards.
         """
-        if self.state() is not OrderState.ASCENDING or self.observed == 0:
+        state = self.state()
+        if self.observed == 0:
             return None
         span = domain_high - domain_low
         if span <= 0:
             return None
-        return min(max((self.max_value - domain_low) / span, 0.0), 1.0)
+        if state is OrderState.ASCENDING:
+            return min(max((self.max_value - domain_low) / span, 0.0), 1.0)
+        if state is OrderState.DESCENDING:
+            return min(max((domain_high - self.min_value) / span, 0.0), 1.0)
+        return None

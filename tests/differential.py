@@ -226,6 +226,65 @@ def generate_workload(seed: int, name_prefix: str = "") -> DifferentialWorkload:
     return DifferentialWorkload(seed, query, relations, remote)
 
 
+def order_workload_variant(
+    workload: DifferentialWorkload, variant: str
+) -> tuple[DifferentialWorkload, dict[str, str]]:
+    """Derive a sorted / perturbed-sorted variant of a generated workload.
+
+    Each relation is re-ordered on one of its join attributes — the foreign
+    key when it has one (so child⋈parent joins line up sorted streams on
+    both sides), else its primary key.  ``variant``:
+
+    * ``"sorted"`` — rows exactly sorted on the chosen attribute;
+    * ``"perturbed"`` — sorted, then ~5% of adjacent pairs swapped (a
+      near-sorted stream that stays within the order detectors' tolerance).
+
+    Returns the re-ordered workload plus the chosen sort attribute per
+    relation (for registering ordering promises).  Row *multisets* are
+    unchanged, so the original workload's reference results still apply.
+    """
+    if variant not in ("sorted", "perturbed"):
+        raise ValueError(f"unknown order variant {variant!r}")
+    rng = random.Random(workload.seed * 7919 + 13)
+    relations: dict[str, Relation] = {}
+    sort_attrs: dict[str, str] = {}
+    for name, relation in workload.relations.items():
+        names = relation.schema.names
+        attr = next((a for a in names if a.endswith("_fk")), names[0])
+        position = relation.schema.position(attr)
+        rows = sorted(relation.rows, key=lambda row: row[position])
+        if variant == "perturbed" and len(rows) > 3:
+            for _ in range(max(1, len(rows) // 20)):
+                i = rng.randrange(len(rows) - 1)
+                rows[i], rows[i + 1] = rows[i + 1], rows[i]
+        relations[name] = Relation(name, relation.schema, rows)
+        sort_attrs[name] = attr
+    ordered = DifferentialWorkload(
+        seed=workload.seed,
+        query=workload.query,
+        relations=relations,
+        remote=workload.remote,
+    )
+    return ordered, sort_attrs
+
+
+def order_catalog(
+    workload: DifferentialWorkload,
+    sort_attrs: dict[str, str],
+    with_promises: bool,
+) -> Catalog:
+    """Catalog for an ordered workload, optionally carrying sort promises."""
+    from repro.relational.catalog import TableStatistics
+
+    catalog = Catalog()
+    for name, relation in workload.relations.items():
+        statistics = None
+        if with_promises:
+            statistics = TableStatistics(sorted_on=(sort_attrs[name],))
+        catalog.register(name, relation.schema, statistics)
+    return catalog
+
+
 def _bad_initial_tree(workload: DifferentialWorkload) -> JoinTree:
     """A deliberately poor left-deep order: largest relations first (kept
     connected), so the corrective processor has something worth switching

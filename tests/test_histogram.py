@@ -106,6 +106,46 @@ class TestEstimation:
         assert doubled.total_count == 2 * histogram.total_count
         assert doubled.frequency(1) == pytest.approx(2 * histogram.frequency(1), rel=0.05)
 
+    def test_scaled_down_mass_stays_consistent_with_total(self):
+        """Regression: ``max(int(c * factor), 1)`` clamped every singleton /
+        value count to >= 1 tuple, so scaling a 1000-distinct-value summary
+        down by 100x produced a clone whose summed mass (~1000) exceeded its
+        nominal total (~10) by two orders of magnitude."""
+        histogram = DynamicCompressedHistogram(
+            bucket_target=50, restructure_interval=200
+        )
+        histogram.add_many(range(1000))  # 1000 distinct values, one each
+        histogram.flush()
+        clone = histogram.scaled(0.01)
+        assert clone.total_count == 10
+        assert sum(clone._value_counts.values()) == clone.total_count
+        summary_mass = sum(clone.singletons.values()) + sum(
+            bucket.count for bucket in clone.buckets
+        )
+        assert summary_mass <= clone.total_count
+        # Selectivities stay probabilities (the inflated clone broke this).
+        assert sum(clone.selectivity(v) for v in range(1000)) <= 1.0 + 1e-9
+
+    def test_scaled_up_remains_exact_for_integer_factors(self):
+        histogram = DynamicCompressedHistogram(bucket_target=20, restructure_interval=50)
+        histogram.add_many([1] * 30 + list(range(2, 40)))
+        histogram.flush()
+        tripled = histogram.scaled(3.0)
+        assert tripled.total_count == 3 * histogram.total_count
+        assert tripled.frequency(1) == pytest.approx(3 * histogram.frequency(1))
+
+    def test_find_bucket_binary_search_matches_linear_semantics(self):
+        histogram = DynamicCompressedHistogram(bucket_target=10, restructure_interval=50)
+        histogram.add_many(range(0, 500, 2))  # even values only
+        histogram.flush()
+        for value in (-1, 0, 3, 250, 498, 499, 10_000):
+            found = histogram._find_bucket(value)
+            expected = next(
+                (bucket for bucket in histogram.buckets if bucket.contains(value)),
+                None,
+            )
+            assert found is expected
+
     def test_scaled_preserves_singleton_budget_and_counters(self):
         """Regression: the singleton budget used to round-trip through
         ``singleton_budget / bucket_target``, which float truncation can

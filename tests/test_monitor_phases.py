@@ -57,6 +57,36 @@ class TestExecutionMonitor:
         observed = monitor.observe(plan, cursors)
         assert observed.selectivity_of(frozenset({"r", "s"})) is None
 
+    def test_exhausted_tiny_sources_yield_exact_selectivity(self):
+        """Regression: the ``inputs_seen >= 10`` trust threshold used to
+        discard selectivities of subexpressions over fully exhausted tiny
+        sources — but an exhausted 5-row dimension table yields an *exact*
+        selectivity, the most trustworthy observation there is."""
+        query = join_query()
+        sources = make_sources(r_rows=5, s_rows=5)
+        monitor = ExecutionMonitor(query)
+        cursors = {name: SourceCursor(name, src) for name, src in sources.items()}
+        plan = PipelinedPlan(query, JoinTree.left_deep(["r", "s"]), cursors, lambda row: None)
+        plan.run()
+        observed = monitor.observe(plan, cursors)
+        assert observed.source("r").exhausted and observed.source("s").exhausted
+        assert observed.selectivity_of(frozenset({"r", "s"})) == pytest.approx(
+            5 / (5 * 5)
+        )
+
+    def test_partially_read_tiny_sources_still_not_trusted(self):
+        """The exhausted-source exemption must not weaken the threshold for
+        small-but-unfinished inputs."""
+        query = join_query()
+        sources = make_sources(r_rows=40, s_rows=40)
+        monitor = ExecutionMonitor(query)
+        cursors = {name: SourceCursor(name, src) for name, src in sources.items()}
+        plan = PipelinedPlan(query, JoinTree.left_deep(["r", "s"]), cursors, lambda row: None)
+        plan.run(max_steps=8)
+        observed = monitor.observe(plan, cursors)
+        assert not observed.source("r").exhausted
+        assert observed.selectivity_of(frozenset({"r", "s"})) is None
+
     def test_multiplicative_join_flagged(self):
         # Every s tuple matches every r key 0..9: a strongly multiplicative join.
         r_schema = Schema.from_names(["rk"], relation="r")

@@ -165,8 +165,10 @@ class TestOrderDetectorEdges:
         assert detector.is_sorted()
         assert detector.ascending_fraction == 0.0
         assert detector.descending_fraction == 1.0
-        # Progress extrapolation is defined for ascending streams only.
-        assert detector.progress_fraction(1, 9) is None
+        # Progress extrapolation mirrors the high-water logic via min_value
+        # for descending streams: the stream has descended all the way to
+        # the bottom of [1, 9], so it is fully consumed.
+        assert detector.progress_fraction(1, 9) == 1.0
         assert detector.min_value == 1 and detector.max_value == 9
 
     def test_tolerance_keeps_mostly_sorted_streams_sorted(self):
