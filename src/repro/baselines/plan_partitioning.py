@@ -76,6 +76,7 @@ class PlanPartitioningExecutor:
         materialize_after_joins: int = 3,
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         batch_size: int | None = None,
+        engine_mode: str = "interpreted",
     ) -> None:
         self.catalog = catalog
         self.sources = dict(sources)
@@ -83,6 +84,7 @@ class PlanPartitioningExecutor:
         self.materialize_after_joins = materialize_after_joins
         self.default_cardinality = default_cardinality
         self.batch_size = batch_size
+        self.engine_mode = engine_mode
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=True, default_cardinality=default_cardinality
         )
@@ -173,7 +175,10 @@ class PlanPartitioningExecutor:
             # plan partitioning degenerates to static execution.
             tree = self.optimizer.optimize_tree(query)
             executor = PipelinedExecutor(
-                self.sources, self.cost_model, batch_size=self.batch_size
+                self.sources,
+                self.cost_model,
+                batch_size=self.batch_size,
+                engine_mode=self.engine_mode,
             )
             rows, plan = executor.execute(query, tree, clock=clock, metrics=metrics)
             return PlanPartitioningReport(
@@ -193,7 +198,10 @@ class PlanPartitioningExecutor:
         stage1_query = self._stage1_query(query, stage1_relations)
         stage1_tree = self.optimizer.optimize_tree(stage1_query)
         executor = PipelinedExecutor(
-            self.sources, self.cost_model, batch_size=self.batch_size
+            self.sources,
+            self.cost_model,
+            batch_size=self.batch_size,
+            engine_mode=self.engine_mode,
         )
         stage1_rows, stage1_plan = executor.execute(
             stage1_query, stage1_tree, clock=clock, metrics=metrics
@@ -228,7 +236,10 @@ class PlanPartitioningExecutor:
         stage2_sources = dict(self.sources)
         stage2_sources[STAGE_RELATION_NAME] = stage1_relation
         stage2_executor = PipelinedExecutor(
-            stage2_sources, self.cost_model, batch_size=self.batch_size
+            stage2_sources,
+            self.cost_model,
+            batch_size=self.batch_size,
+            engine_mode=self.engine_mode,
         )
         rows, stage2_plan = stage2_executor.execute(
             stage2_query, stage2_tree, clock=clock, metrics=metrics

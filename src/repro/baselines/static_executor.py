@@ -59,11 +59,13 @@ class StaticExecutor:
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         bushy: bool = True,
         batch_size: int | None = None,
+        engine_mode: str = "interpreted",
     ) -> None:
         self.catalog = catalog
         self.sources = dict(sources)
         self.cost_model = cost_model or CostModel()
         self.batch_size = batch_size
+        self.engine_mode = engine_mode
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=bushy, default_cardinality=default_cardinality
         )
@@ -76,7 +78,10 @@ class StaticExecutor:
         metrics = ExecutionMetrics()
         clock = SimulatedClock(self.cost_model)
         executor = PipelinedExecutor(
-            self.sources, self.cost_model, batch_size=self.batch_size
+            self.sources,
+            self.cost_model,
+            batch_size=self.batch_size,
+            engine_mode=self.engine_mode,
         )
         wall_start = time.perf_counter()
         rows, plan = executor.execute(query, tree, clock=clock, metrics=metrics)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.core.monitor import ExecutionMonitor
 from repro.core.phases import PhaseManager, PhaseRecord
 from repro.core.stitchup import StitchUpExecutor, StitchUpReport
+from repro.engine.compiled import fused_output_sink
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
 from repro.engine.operators.aggregate import GroupAccumulator
 from repro.engine.pipelined import PipelinedPlan, SourceCursor
@@ -118,6 +119,7 @@ class CorrectiveQueryProcessor:
         batch_size: int | None = None,
         order_adaptive: bool = False,
         order_tolerance: float = 0.05,
+        engine_mode: str = "interpreted",
     ) -> None:
         """Parameters mirror the paper's experimental knobs.
 
@@ -146,7 +148,27 @@ class CorrectiveQueryProcessor:
         the clock can drift slightly within a batch (waits and work charges
         interleave differently), which in principle can shift clock-driven
         poll timing; results are identical either way.
+
+        ``engine_mode="compiled"`` (opt-in, requires ``batch_size``) runs
+        every phase through fused plan-specialized batch pipelines
+        (:mod:`repro.engine.compiled`) instead of the generic operator code.
+        Answers, work counters, simulated seconds and phase counts are
+        bit-identical to the interpreted batched engine; each phase's plan —
+        including strategy-only hash↔merge switches — is recompiled when it
+        is built, and the shared group-by / canonical-layout adaptation is
+        fused into the generated sinks.
         """
+        from repro.engine.compiled import ENGINE_MODES
+
+        if engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine_mode {engine_mode!r}; expected one of {ENGINE_MODES}"
+            )
+        if engine_mode == "compiled" and batch_size is None:
+            raise ValueError(
+                "engine_mode='compiled' requires batch_size (the compiled "
+                "engine specializes the batched execution path)"
+            )
         self.catalog = catalog
         self.sources = dict(sources)
         self.cost_model = cost_model or CostModel()
@@ -158,6 +180,7 @@ class CorrectiveQueryProcessor:
         self.batch_size = batch_size
         self.order_adaptive = order_adaptive
         self.order_tolerance = order_tolerance
+        self.engine_mode = engine_mode
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=bushy, default_cardinality=default_cardinality
         )
@@ -316,8 +339,15 @@ class CorrectiveQueryProcessor:
                 else:
                     plan.output_sink = lambda row: accumulate(adapt(row))
                     plan.output_sink_batch = lambda rows: accumulate_batch(
-                        [adapt(row) for row in rows]
+                        adapter.adapt_many(rows)
                     )
+                if self.engine_mode == "compiled":
+                    # Fuse the canonical-layout permutation into the group-by
+                    # fold (no adapted tuples are materialized; charges and
+                    # group states are identical — see make_batch_fold).
+                    fold = fused_output_sink(accumulator, adapter)
+                    if fold is not None:
+                        plan.output_sink_batch = fold
             elif adapter.is_identity:
                 plan.output_sink = collected.append
                 plan.output_sink_batch = collected.extend
@@ -325,7 +355,7 @@ class CorrectiveQueryProcessor:
                 append = collected.append
                 plan.output_sink = lambda row: append(adapt(row))
                 plan.output_sink_batch = lambda rows: collected.extend(
-                    [adapt(row) for row in rows]
+                    adapter.adapt_many(rows)
                 )
 
         phase_id = 0
@@ -347,6 +377,7 @@ class CorrectiveQueryProcessor:
                 cost_model=self.cost_model,
                 batch_size=self.batch_size,
                 join_strategies=current_strategies,
+                engine_mode=self.engine_mode,
             )
             phase_algorithms.append(
                 {
@@ -495,6 +526,7 @@ class CorrectiveQueryProcessor:
                 "observed_statistics": monitor.observed,
                 "seeded_statistics": seed_statistics is not None,
                 "order_adaptive": self.order_adaptive,
+                "engine_mode": self.engine_mode,
                 # Physical join algorithm per node, per phase (shows
                 # hash↔merge switches), and the peak resident join state.
                 "phase_join_algorithms": phase_algorithms,

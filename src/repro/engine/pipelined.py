@@ -17,9 +17,9 @@ can reuse them (Section 3.4).
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Sequence
 
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
 from repro.engine.pipelined_merge import PipelinedMergeJoinNode
@@ -46,10 +46,15 @@ class SourceCursor:
     sequentially (the data integration access model of Section 3.5).
 
     Internally the cursor buffers one *prefetch chunk* ahead of the consumer
-    (``prefetch`` items, pulled via the source's ``open_stream_batches`` when
-    available) so that both ``peek_arrival``/``read`` and the batched
-    :meth:`read_batch` are cheap deque operations rather than generator
-    round-trips per tuple.
+    in **columnar** form: a row sequence plus either a parallel arrival
+    sequence or ``None`` when the whole chunk is immediately available
+    (``arrival == 0.0`` for every row — the local-source common case).
+    Chunks come from the source's ``open_stream_columns`` when available
+    (one memoized schedule access and two slices per chunk, no per-tuple
+    pair objects), so ``peek_arrival``/``read`` are plain indexing,
+    :meth:`read_batch` is slicing, and :meth:`read_zero_batch` resolves the
+    zero-arrival prefix with one ``bisect`` over the (non-decreasing)
+    arrival column instead of a per-tuple scan.
     """
 
     DEFAULT_PREFETCH = 256
@@ -59,7 +64,9 @@ class SourceCursor:
         self.schema: Schema = source.schema
         self.prefetch = max(int(prefetch or self.DEFAULT_PREFETCH), 1)
         self._chunks = self._open(source, self.prefetch)
-        self._buffer: deque[tuple[tuple, float]] = deque()
+        self._rows: Sequence[tuple] = ()
+        self._arrivals: Sequence[float] | None = ()
+        self._pos = 0
         self._stream_done = False
         self.consumed = 0
         self.exhausted = False
@@ -95,25 +102,28 @@ class SourceCursor:
             detector.add(row[position])
 
     @staticmethod
-    def _open(source, prefetch: int) -> Iterator[list[tuple[tuple, float]]]:
+    def _open(source, prefetch: int):
         from repro.sources.source import LocalSource
 
         if isinstance(source, Relation):
             source = LocalSource(source)
-        open_batches = getattr(source, "open_stream_batches", None)
-        if open_batches is not None:
-            return iter(open_batches(prefetch))
+        open_columns = getattr(source, "open_stream_columns", None)
+        if open_columns is not None:
+            return iter(open_columns(prefetch))
 
-        # Duck-typed sources exposing only open_stream(): chunk it here.
+        # Duck-typed sources exposing only open_stream(): chunk and
+        # transpose it here (one zip per chunk, not per tuple).
         def stream_chunks():
             batch = []
             for item in source.open_stream():
                 batch.append(item)
                 if len(batch) >= prefetch:
-                    yield batch
+                    rows, arrivals = zip(*batch)
+                    yield rows, (None if max(arrivals) <= 0.0 else arrivals)
                     batch = []
             if batch:
-                yield batch
+                rows, arrivals = zip(*batch)
+                yield rows, (None if max(arrivals) <= 0.0 else arrivals)
 
         return stream_chunks()
 
@@ -121,32 +131,39 @@ class SourceCursor:
         """Pull the next prefetch chunk into the buffer; False at end of stream."""
         if self._stream_done:
             return False
-        try:
-            chunk = next(self._chunks)
-        except StopIteration:
-            self._stream_done = True
-            return False
-        self._buffer.extend(chunk)
-        return True
+        while True:
+            try:
+                rows, arrivals = next(self._chunks)
+            except StopIteration:
+                self._stream_done = True
+                return False
+            if rows:
+                self._rows = rows
+                self._arrivals = arrivals
+                self._pos = 0
+                return True
 
     def peek_arrival(self) -> float | None:
         """Arrival time of the next tuple, or ``None`` when exhausted."""
-        buffer = self._buffer
-        while not buffer:
+        if self._pos >= len(self._rows):
             if not self._fill():
                 self.exhausted = True
                 return None
-        return buffer[0][1]
+        arrivals = self._arrivals
+        return 0.0 if arrivals is None else arrivals[self._pos]
 
     def read(self) -> tuple[tuple, float] | None:
         """Consume and return ``(row, arrival_time)``, or ``None`` at end."""
-        if self.peek_arrival() is None:
+        arrival = self.peek_arrival()
+        if arrival is None:
             return None
-        item = self._buffer.popleft()
+        pos = self._pos
+        row = self._rows[pos]
+        self._pos = pos + 1
         self.consumed += 1
         if self._order_detectors:
-            self._observe_order(item[0])
-        return item
+            self._observe_order(row)
+        return row, arrival
 
     def read_batch(self, max_count: int) -> tuple[list[tuple], float | None]:
         """Consume up to ``max_count`` tuples; return ``(rows, last_arrival)``.
@@ -158,16 +175,18 @@ class SourceCursor:
         """
         if max_count < 1 or self.peek_arrival() is None:
             return [], None
-        buffer = self._buffer
         rows: list[tuple] = []
         last_arrival: float | None = None
         while len(rows) < max_count:
-            if not buffer and not self._fill():
+            pos = self._pos
+            if pos >= len(self._rows) and not self._fill():
                 break
-            take = min(max_count - len(rows), len(buffer))
-            for _ in range(take):
-                row, last_arrival = buffer.popleft()
-                rows.append(row)
+            pos = self._pos
+            end = min(pos + (max_count - len(rows)), len(self._rows))
+            rows.extend(self._rows[pos:end])
+            arrivals = self._arrivals
+            last_arrival = 0.0 if arrivals is None else arrivals[end - 1]
+            self._pos = end
         self.consumed += len(rows)
         if self._order_detectors:
             for row in rows:
@@ -179,20 +198,27 @@ class SourceCursor:
 
         Stops early at the first tuple that has a positive arrival time (per
         source, arrival times are non-decreasing, so everything consumed is
-        guaranteed immediately available).  This is the bulk-read primitive
-        of the batched scheduler's local-source fast path.
+        guaranteed immediately available — and the zero-arrival prefix of a
+        buffered chunk can be located with one bisect over the arrival
+        column).  This is the bulk-read primitive of the batched scheduler's
+        local-source fast path.
         """
         rows: list[tuple] = []
-        buffer = self._buffer
-        done = False
-        while not done and len(rows) < max_count:
-            if not buffer and not self._fill():
+        while len(rows) < max_count:
+            pos = self._pos
+            if pos >= len(self._rows) and not self._fill():
                 break
-            while buffer and len(rows) < max_count:
-                if buffer[0][1] > 0.0:
-                    done = True
+            pos = self._pos
+            limit = min(pos + (max_count - len(rows)), len(self._rows))
+            arrivals = self._arrivals
+            if arrivals is None:
+                end = limit
+            else:
+                end = bisect_right(arrivals, 0.0, pos, limit)
+                if end == pos:
                     break
-                rows.append(buffer.popleft()[0])
+            rows.extend(self._rows[pos:end])
+            self._pos = end
         self.consumed += len(rows)
         if self._order_detectors:
             for row in rows:
@@ -238,6 +264,10 @@ class PipelinedJoinNode:
     @property
     def relations(self) -> frozenset[str]:
         return self.left_relations | self.right_relations
+
+    def key_position(self, side: str) -> int:
+        """Join-key position inside the given side's input tuples."""
+        return self._left_key_pos if side == "left" else self._right_key_pos
 
     def push(self, row: tuple, side: str) -> None:
         """Insert ``row`` on ``side`` ('left'/'right'), probe the other side,
@@ -381,23 +411,46 @@ class PipelinedPlan:
         batch_size: int | None = None,
         output_sink_batch: Callable[[list[tuple]], None] | None = None,
         join_strategies: dict | None = None,
+        engine_mode: str = "interpreted",
     ) -> None:
         """``join_strategies`` optionally maps a node's relation set to a
         :class:`~repro.optimizer.ordering.JoinStrategy`; nodes mapped to the
         ``"merge"`` algorithm are built as
         :class:`~repro.engine.pipelined_merge.PipelinedMergeJoinNode` instead
-        of symmetric hash joins (the order-adaptive physical strategy)."""
+        of symmetric hash joins (the order-adaptive physical strategy).
+
+        ``engine_mode`` selects how batches are propagated: ``"interpreted"``
+        walks the generic operator code, ``"compiled"`` runs fused
+        plan-specialized batch functions (see :mod:`repro.engine.compiled`)
+        with identical results and work accounting.  Compiled mode requires
+        a ``batch_size``; chains are (re)generated per plan, so corrective
+        phase switches and hash↔merge strategy switches recompile naturally.
+        """
+        from repro.engine.compiled import ENGINE_MODES
+
         if join_tree.relations() != frozenset(query.relations):
             raise PlanError(
                 f"join tree {join_tree} does not cover the relations of query {query.name}"
             )
         if batch_size is not None and batch_size < 1:
             raise PlanError(f"batch_size must be positive, got {batch_size}")
+        if engine_mode not in ENGINE_MODES:
+            raise PlanError(
+                f"unknown engine_mode {engine_mode!r}; expected one of {ENGINE_MODES}"
+            )
+        if engine_mode == "compiled" and batch_size is None:
+            raise PlanError(
+                "engine_mode='compiled' requires a batch_size (the compiled "
+                "engine specializes the batch path; tuple-at-a-time execution "
+                "is always interpreted)"
+            )
         self.query = query
         self.join_tree = join_tree
         self.cursors = cursors
         self.phase_id = phase_id
         self.batch_size = batch_size
+        self.engine_mode = engine_mode
+        self._compiled_chains: dict[str, Callable[[list], None]] | None = None
         self.join_strategies = dict(join_strategies) if join_strategies else {}
         self.metrics = metrics if metrics is not None else ExecutionMetrics()
         self.cost_model = cost_model or CostModel()
@@ -406,6 +459,7 @@ class PipelinedPlan:
         self.output_sink_batch = output_sink_batch
         self.output_count = 0
         self.leaves: dict[str, LeafBinding] = {}
+        self._leaf_pairs: list[tuple[LeafBinding, SourceCursor]] | None = None
         self.nodes: list[PipelinedJoinNode] = []
         self._charged_work = self.metrics.work(self.cost_model)
         self._build_network()
@@ -460,6 +514,7 @@ class PipelinedPlan:
             else:
                 oriented.append((pred.right_attr, pred.left_attr))
         left_key, right_key = oriented[0]
+        residual = None
         residual_fn = None
         if len(oriented) > 1:
             residual = conjunction(
@@ -485,6 +540,10 @@ class PipelinedPlan:
             )
         node.left_relations = left_relations
         node.right_relations = right_relations
+        #: the residual Predicate tree (None when single-predicate); kept so
+        #: the compiled engine can inline its source instead of calling the
+        #: generic compiled closure per candidate tuple
+        node.residual_predicate = residual
         node.parent = parent
         node.parent_side = parent_side
         if parent is None:
@@ -584,18 +643,31 @@ class PipelinedPlan:
         Water-filling: raise every count to a common level ``L``, then hand
         the remainder one tuple each to the first eligible sources in leaf
         order — exactly the counts the tuple-at-a-time tie-breaking rule
-        ("least consumed, then leaf order") produces.
+        ("least consumed, then leaf order") produces.  The level is found by
+        walking the sorted counts directly (a handful of arithmetic steps
+        for the small per-plan leaf sets on the batched engine's hot path).
         """
-        low = min(counts)
-        high = low + budget
-        while low < high:
-            mid = (low + high + 1) // 2
-            if sum(mid - c for c in counts if c < mid) <= budget:
-                low = mid
-            else:
-                high = mid - 1
-        level = low
-        extra = budget - sum(level - c for c in counts if c < level)
+        if len(counts) == 1:
+            return [budget]
+        order = sorted(counts)
+        # Raise the water level across the sorted counts until the budget is
+        # spent: filling every count below order[i] up to order[i] costs
+        # i * (order[i] - level) more tuples.
+        level = order[0]
+        spent = 0
+        filled = 1
+        for i in range(1, len(order)):
+            step = order[i] - level
+            cost = i * step
+            if spent + cost > budget:
+                break
+            spent += cost
+            level = order[i]
+            filled = i + 1
+        remaining = budget - spent
+        level += remaining // filled
+        spent = budget - (remaining % filled)
+        extra = budget - spent
         quotas = []
         for count in counts:
             quota = level - count if count < level else 0
@@ -642,7 +714,11 @@ class PipelinedPlan:
         Returns a list of ``[binding, rows, last_arrival]`` groups.
         """
         budget = max_tuples
-        pairs = [(binding, self.cursors[name]) for name, binding in self.leaves.items()]
+        pairs = self._leaf_pairs
+        if pairs is None:
+            pairs = self._leaf_pairs = [
+                (binding, self.cursors[name]) for name, binding in self.leaves.items()
+            ]
         groups: dict[str, list] = {}
 
         def add_rows(binding: LeafBinding, rows: list[tuple], last_arrival: float) -> None:
@@ -752,6 +828,8 @@ class PipelinedPlan:
             limit = max_tuples
         if limit < 1:
             return 0
+        if self.engine_mode == "compiled":
+            return self._step_batch_compiled(limit, horizon)
         groups = self._read_schedule(limit, horizon)
         if not groups:
             return 0
@@ -782,6 +860,152 @@ class PipelinedPlan:
                 self._root_sink_batch(rows)
             else:
                 binding.node.push_batch(rows, binding.side)
+        self.statistics.steps += 1
+        self.statistics.tuples_read += total
+        return total
+
+    def _step_batch_compiled(self, limit: int, horizon: float | None) -> int:
+        """Read and propagate one batch through the fused compiled chains.
+
+        Mirrors the interpreted step exactly — same read schedule, and per
+        group the clock is synchronized (and stalled to the group's last
+        arrival) *before* the group's work, with each chain charging its
+        whole group's counters before the next group's synchronization — so
+        counter values at every clock-advancing point coincide with
+        interpreted execution, bit for bit (float addition is not
+        associative, so even the charge granularity is preserved; see
+        :mod:`repro.engine.compiled` for the equivalence contract).
+
+        The all-immediate common case (every live source's next tuple has
+        arrival 0.0, i.e. local data) takes a specialized driver that skips
+        the generic schedule assembly: quotas are water-filled exactly like
+        ``_read_schedule``'s zero phase, each quota is drained with one bulk
+        read, and same-leaf grants are merged in first-grant order — the
+        identical groups, in the identical order, that the generic path
+        would build.  This deliberately duplicates the zero phase's
+        scheduling rule; if you change one, change the other — the compiled
+        differential suite (``tests/test_differential_compiled.py``) pins
+        the bit-identity and will catch a divergence.
+        """
+        chains = self._compiled_chains
+        if chains is None:
+            from repro.engine.compiled import compile_plan_chains
+
+            chains = self._compiled_chains = compile_plan_chains(self)
+
+        pairs = self._leaf_pairs
+        if pairs is None:
+            pairs = self._leaf_pairs = [
+                (binding, self.cursors[name]) for name, binding in self.leaves.items()
+            ]
+
+        # Fast path precondition: every live source's next tuple is
+        # immediately available.  (A source whose next arrival is in the
+        # future sends the whole step down the generic scheduler.)
+        zero_pairs = []
+        for pair in pairs:
+            arrival = pair[1].peek_arrival()
+            if arrival is None:
+                continue
+            if arrival > 0.0:
+                zero_pairs = None
+                break
+            zero_pairs.append(pair)
+        if not zero_pairs:
+            groups = self._read_schedule(limit, horizon)
+            if not groups:
+                return 0
+            return self._run_compiled_groups(chains, groups)
+
+        # Water-fill quotas and drain them with bulk reads, merging same-leaf
+        # grants in first-grant order — byte-identical groups, in identical
+        # order, to what _read_schedule's zero phase would assemble.
+        budget = limit
+        quotas = self._zero_quotas(
+            [cursor.consumed for _, cursor in zero_pairs], budget
+        )
+        groups = []
+        index: dict[str, list] = {}
+        delivered = 0
+        drained = False
+        for (binding, cursor), quota in zip(zero_pairs, quotas):
+            if quota <= 0:
+                continue
+            rows = cursor.read_zero_batch(quota)
+            if rows:
+                delivered += len(rows)
+                group = [binding, rows, 0.0]
+                index[binding.relation] = group
+                groups.append(group)
+            if len(rows) < quota:
+                drained = True
+        budget -= delivered
+        if not drained:
+            # Common single-round case: the whole budget was granted in one
+            # water-filling round; the granted runs are the final groups.
+            if not groups:
+                return 0
+            return self._run_compiled_groups(chains, groups)
+        while budget > 0 and delivered > 0:
+            zero_pairs = [
+                pair for pair in zero_pairs if pair[1].peek_arrival() == 0.0
+            ]
+            if not zero_pairs:
+                break
+            quotas = self._zero_quotas(
+                [cursor.consumed for _, cursor in zero_pairs], budget
+            )
+            delivered = 0
+            for (binding, cursor), quota in zip(zero_pairs, quotas):
+                if quota <= 0:
+                    continue
+                rows = cursor.read_zero_batch(quota)
+                if rows:
+                    delivered += len(rows)
+                    group = index.get(binding.relation)
+                    if group is None:
+                        group = [binding, rows, 0.0]
+                        index[binding.relation] = group
+                        groups.append(group)
+                    else:
+                        group[1].extend(rows)
+            budget -= delivered
+            if delivered == 0:
+                break
+        if budget > 0:
+            # Sources drained below the budget: any residue lives behind
+            # future arrivals (or everything is exhausted).  Delegate the
+            # rest to the generic scheduler and merge, exactly like
+            # _read_schedule's zero phase falling through to its
+            # arrival-driven loop.
+            for group in self._read_schedule(budget, horizon):
+                merged = index.get(group[0].relation)
+                if merged is None:
+                    groups.append(group)
+                else:
+                    merged[1].extend(group[1])
+                    if group[2] > merged[2]:
+                        merged[2] = group[2]
+        if not groups:
+            return 0
+        return self._run_compiled_groups(chains, groups)
+
+    def _run_compiled_groups(self, chains, groups: list[list]) -> int:
+        """Dispatch scheduled groups through the compiled chains.
+
+        The per-group sync/wait cadence is kept exactly as interpreted:
+        float addition is not associative, so charging the clock in any
+        other granularity would drift the last ulp of simulated seconds.
+        """
+        self.metrics.batches_read += 1
+        total = 0
+        sync = self._sync_clock
+        wait = self.clock.wait_until
+        for binding, rows, last_arrival in groups:
+            sync()
+            wait(last_arrival)
+            total += len(rows)
+            chains[binding.relation](rows)
         self.statistics.steps += 1
         self.statistics.tuples_read += total
         return total
@@ -967,11 +1191,13 @@ class PipelinedExecutor:
         cost_model: CostModel | None = None,
         batch_size: int | None = None,
         join_strategies: dict | None = None,
+        engine_mode: str = "interpreted",
     ) -> None:
         self.sources = dict(sources)
         self.cost_model = cost_model or CostModel()
         self.batch_size = batch_size
         self.join_strategies = join_strategies
+        self.engine_mode = engine_mode
 
     def execute(
         self,
@@ -1011,6 +1237,7 @@ class PipelinedExecutor:
             batch_size=self.batch_size,
             output_sink_batch=collected.extend,
             join_strategies=self.join_strategies,
+            engine_mode=self.engine_mode,
         )
         if query.aggregation is not None:
             # The accumulator needs the join output schema, which depends on
@@ -1024,6 +1251,12 @@ class PipelinedExecutor:
             )
             plan.output_sink = accumulator.accumulate
             plan.output_sink_batch = accumulator.accumulate_batch
+            if self.engine_mode == "compiled":
+                from repro.engine.compiled import fused_output_sink
+
+                fold = fused_output_sink(accumulator)
+                if fold is not None:
+                    plan.output_sink_batch = fold
 
         plan.run()
         if accumulator is not None:

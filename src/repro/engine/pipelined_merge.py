@@ -90,6 +90,10 @@ class PipelinedMergeJoinNode:
     def relations(self) -> frozenset[str]:
         return self.left_relations | self.right_relations
 
+    def key_position(self, side: str) -> int:
+        """Join-key position inside the given side's input tuples."""
+        return self._left_key_pos if side == "left" else self._right_key_pos
+
     # -- core arrival processing -------------------------------------------------
 
     def _ahead(self, a: object, b: object) -> bool:
@@ -177,6 +181,34 @@ class PipelinedMergeJoinNode:
                 metrics.tuples_output += 1
                 self.sink(combined)
 
+    def process_batch(self, rows: list[tuple], side: str) -> list[tuple]:
+        """Process a batch of arrivals and return the post-residual outputs.
+
+        Factored out of :meth:`push_batch` so the compiled engine can splice
+        a merge node into a fused leaf→root chain as one stage: the charges
+        (per-row :meth:`_process` comparisons, batch-level residual /
+        tuple-copy counters) and :attr:`output_count` updates are exactly
+        those of the interpreted batched path; only the propagation of the
+        returned batch differs between the callers.
+        """
+        combined: list[tuple] = []
+        extend = combined.extend
+        process = self._process
+        for row in rows:
+            extend(process(row, side))
+        if not combined:
+            return combined
+        metrics = self.metrics
+        residual_fn = self._residual_fn
+        if residual_fn is not None:
+            metrics.predicate_evals += len(combined)
+            combined = [row for row in combined if residual_fn(row)]
+            if not combined:
+                return combined
+        metrics.tuple_copies += len(combined)
+        self.output_count += len(combined)
+        return combined
+
     def push_batch(self, rows: list[tuple], side: str) -> None:
         """Batched arrivals: identical per-row processing, one upward batch.
 
@@ -186,20 +218,10 @@ class PipelinedMergeJoinNode:
         """
         if not rows:
             return
-        combined: list[tuple] = []
-        for row in rows:
-            combined.extend(self._process(row, side))
+        combined = self.process_batch(rows, side)
         if not combined:
             return
         metrics = self.metrics
-        residual_fn = self._residual_fn
-        if residual_fn is not None:
-            metrics.predicate_evals += len(combined)
-            combined = [row for row in combined if residual_fn(row)]
-            if not combined:
-                return
-        metrics.tuple_copies += len(combined)
-        self.output_count += len(combined)
         if self.parent is not None:
             self.parent.push_batch(combined, self.parent_side)
         elif self.sink_batch is not None:

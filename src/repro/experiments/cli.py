@@ -10,6 +10,7 @@ Regenerate any of the paper's tables/figures without going through pytest::
     python -m repro.experiments.cli ablations     # sensitivity sweeps
     python -m repro.experiments.cli serve-bench   # multi-query serving layer
     python -m repro.experiments.cli order-bench   # order-adaptive joins
+    python -m repro.experiments.cli engine-bench  # tuple vs batched vs compiled
     python -m repro.experiments.cli all           # every paper figure/table
 
 Use ``--scale`` to trade runtime for fidelity (default 0.003), ``--seed``
@@ -20,7 +21,11 @@ count, default 8), ``--serve-wireless`` and ``--bench-output`` (write the
 JSON benchmark record, e.g. ``BENCH_pr2.json``).  ``order-bench`` compares
 hash-only against order-adaptive corrective processing over sorted /
 near-sorted / unordered / lying-promise source mixes and honours
-``--bench-output`` (e.g. ``BENCH_pr3.json``).
+``--bench-output`` (e.g. ``BENCH_pr3.json``).  ``--engine-mode compiled``
+(requires ``--batch-size``) runs the engines through the fused compiled
+batch pipelines — identical results and simulated timings, lower wall-clock
+— and ``engine-bench`` measures all three engine modes against each other,
+verifying bit-identical accounting (``--bench-output BENCH_pr4.json``).
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.experiments.corrective import (
     run_corrective_comparison,
     stitchup_breakdown,
 )
+from repro.experiments.engine_bench import engine_bench_rows, run_engine_benchmark
 from repro.experiments.order_bench import order_bench_rows, run_order_benchmark
 from repro.experiments.preaggregation import run_preaggregation_comparison
 from repro.experiments.selectivity import run_selectivity_prediction
@@ -60,15 +66,29 @@ def _print(title: str, table: str) -> None:
     print(table)
 
 
-def run_fig2(scale: float, seed: int, batch_size: int | None = None) -> None:
+def run_fig2(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    engine_mode: str = "interpreted",
+) -> None:
     results = run_corrective_comparison(
-        scale_factor=scale, seed=seed, forced_bad_start=True, batch_size=batch_size
+        scale_factor=scale,
+        seed=seed,
+        forced_bad_start=True,
+        batch_size=batch_size,
+        engine_mode=engine_mode,
     )
     _print("Figure 2 — corrective query processing (local)", format_table(comparison_rows(results)))
     _print("Table 1 — stitch-up breakdown", format_table(stitchup_breakdown(results)))
 
 
-def run_fig3(scale: float, seed: int, batch_size: int | None = None) -> None:
+def run_fig3(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    engine_mode: str = "interpreted",
+) -> None:
     results = run_corrective_comparison(
         scale_factor=scale,
         seed=seed,
@@ -77,6 +97,7 @@ def run_fig3(scale: float, seed: int, batch_size: int | None = None) -> None:
         forced_bad_start=True,
         query_names=("Q3A", "Q10A", "Q5"),
         batch_size=batch_size,
+        engine_mode=engine_mode,
     )
     _print("Figure 3 — corrective query processing (wireless)", format_table(comparison_rows(results)))
     _print("Table 2 — stitch-up breakdown (wireless)", format_table(stitchup_breakdown(results)))
@@ -185,6 +206,51 @@ def run_order_bench(
     print("sorted scenarios: merge strategy beat hash-only on time and state")
 
 
+def run_engine_bench(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    repeats: int = 5,
+    output: str | None = None,
+) -> None:
+    from repro.experiments.engine_bench import BATCH_SIZES
+
+    # --batch-size adds the requested size to the standard 1/64/1024 sweep
+    # (the standard sizes stay so headline speedups remain comparable).
+    batch_sizes = BATCH_SIZES
+    if batch_size is not None:
+        batch_sizes = tuple(sorted(set(BATCH_SIZES) | {batch_size}))
+    result = run_engine_benchmark(
+        scale_factor=scale, seed=seed, repeats=repeats, batch_sizes=batch_sizes
+    )
+    _print(
+        "Engine modes — tuple vs interpreted batched vs compiled (fig2 smoke)",
+        format_table(engine_bench_rows(result)),
+    )
+    # Write the record before the verification gate: on a failure the JSON's
+    # ``equivalence_mismatches`` list is the primary diagnostic.
+    if output is not None:
+        path = pathlib.Path(output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbenchmark record written to {path}")
+    if not result["equivalence_check"]:
+        raise SystemExit(
+            "engine-bench verification FAILED: compiled and interpreted "
+            f"engines diverged: {result['equivalence_mismatches']}"
+        )
+    print(
+        "compiled-vs-interpreted verification: result multisets, work "
+        "counters, simulated seconds and phase counts all identical"
+    )
+    headline = result["speedups"][str(result["headline_batch"])]
+    print(
+        f"speedups at batch {result['headline_batch']}: "
+        f"batched/tuple {headline['batched_vs_tuple']}x, "
+        f"compiled/tuple {headline['compiled_vs_tuple']}x, "
+        f"compiled/batched {headline['compiled_vs_batched']}x"
+    )
+
+
 EXPERIMENTS: dict[str, Callable[[float, int, int | None], None]] = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -194,6 +260,9 @@ EXPERIMENTS: dict[str, Callable[[float, int, int | None], None]] = {
     "ablations": run_ablations,
 }
 
+#: Experiments that honour ``--engine-mode`` (they run the pipelined engines).
+ENGINE_MODE_EXPERIMENTS = ("fig2", "fig3")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -202,7 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["serve-bench", "order-bench", "all"],
+        choices=sorted(EXPERIMENTS) + ["serve-bench", "order-bench", "engine-bench", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -228,6 +297,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine-mode",
+        choices=("interpreted", "compiled"),
+        default="interpreted",
+        help=(
+            "execution mode for the pipelined engines (fig2, fig3): "
+            "'compiled' runs fused plan-specialized batch pipelines and "
+            "requires --batch-size; results and simulated timings are "
+            "bit-identical to 'interpreted'"
+        ),
+    )
+    parser.add_argument(
+        "--bench-repeats",
+        type=int,
+        default=5,
+        help="engine-bench: wall-clock repetitions per configuration (best-of)",
+    )
+    parser.add_argument(
         "--serve-queries",
         type=int,
         default=8,
@@ -241,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--bench-output",
         default=None,
-        help="serve-bench: write the JSON benchmark record to this path",
+        help="serve-bench / order-bench / engine-bench: write the JSON benchmark record to this path",
     )
     return parser
 
@@ -250,6 +336,19 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit("--batch-size must be a positive integer")
+    if args.engine_mode == "compiled" and args.batch_size is None:
+        raise SystemExit("--engine-mode compiled requires --batch-size")
+    if args.experiment == "engine-bench":
+        if args.bench_repeats < 1:
+            raise SystemExit("--bench-repeats must be a positive integer")
+        run_engine_bench(
+            args.scale,
+            args.seed,
+            args.batch_size,
+            repeats=args.bench_repeats,
+            output=args.bench_output,
+        )
+        return 0
     if args.experiment == "serve-bench":
         if args.serve_queries < 1:
             raise SystemExit("--serve-queries must be a positive integer")
@@ -270,7 +369,16 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.experiment == "all":
         for name in ("fig2", "fig3", "fig5", "fig6", "sec4.5", "ablations"):
-            EXPERIMENTS[name](args.scale, args.seed, args.batch_size)
+            if name in ENGINE_MODE_EXPERIMENTS:
+                EXPERIMENTS[name](
+                    args.scale, args.seed, args.batch_size, engine_mode=args.engine_mode
+                )
+            else:
+                EXPERIMENTS[name](args.scale, args.seed, args.batch_size)
+    elif args.experiment in ENGINE_MODE_EXPERIMENTS:
+        EXPERIMENTS[args.experiment](
+            args.scale, args.seed, args.batch_size, engine_mode=args.engine_mode
+        )
     else:
         EXPERIMENTS[args.experiment](args.scale, args.seed, args.batch_size)
     return 0

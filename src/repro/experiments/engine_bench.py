@@ -1,0 +1,212 @@
+"""Engine-mode benchmark: tuple vs interpreted-batched vs compiled pipelines.
+
+Measures the *engine execution* wall-clock (plan instantiation + pipelined
+run, excluding optimizer search) of the three execution modes on the fig2
+smoke workload (Q3A, Q10A, Q5; uniform TPC-H, scale 0.003, seed 2004):
+
+* ``tuple`` — the paper's tuple-at-a-time interpreted engine;
+* ``batched[b]`` — the interpreted batch-at-a-time engine (PR 1) at batch
+  size ``b``;
+* ``compiled[b]`` — the fused plan-specialized batch pipelines of
+  :mod:`repro.engine.compiled` at the same batch sizes.
+
+Every measured configuration is verified on the fly: all modes must produce
+the identical result multiset, and at each batch size the compiled engine
+must report **bit-identical** work counters and simulated seconds to the
+interpreted batched engine.  A corrective cross-check additionally asserts
+identical phase counts under adaptive re-optimization.  The emitted record
+(``BENCH_pr4.json``) carries the full wall-clock matrix, the speedup
+ratios, and the equivalence flag.
+
+Wall-clock numbers are best-of-``repeats`` to suppress scheduler noise; the
+equivalence checks are exact and repeat-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.core.corrective import CorrectiveQueryProcessor
+from repro.engine.cost import CostModel
+from repro.engine.pipelined import PipelinedExecutor
+from repro.experiments.common import build_dataset, paper_queries
+from repro.experiments.corrective import DEFAULT_POLLING_INTERVAL, worst_left_deep_tree
+from repro.optimizer.enumerator import Optimizer
+
+BENCH_QUERIES = ("Q3A", "Q10A", "Q5")
+BATCH_SIZES = (1, 64, 1024)
+SCALE_FACTOR = 0.003
+SEED = 2004
+#: Headline batch size (matches the corrective poll-chunk sweet spot).
+HEADLINE_BATCH = 64
+#: Acceptance targets recorded alongside the measurements.
+TARGET_COMPILED_VS_BATCHED = 1.5
+TARGET_COMPILED_VS_TUPLE = 3.0
+
+
+def _row_multiset(rows) -> Counter:
+    return Counter(rows)
+
+
+def run_engine_benchmark(
+    scale_factor: float = SCALE_FACTOR,
+    seed: int = SEED,
+    repeats: int = 5,
+    query_names=BENCH_QUERIES,
+    batch_sizes=BATCH_SIZES,
+) -> dict:
+    """Run the three-mode engine comparison; returns the JSON-able record."""
+    dataset = build_dataset("uniform", scale_factor, 0.0, seed)
+    queries = paper_queries(query_names)
+    optimizer = Optimizer(dataset.catalog_no_statistics, CostModel())
+    trees = {name: optimizer.optimize_tree(query) for name, query in queries.items()}
+
+    configurations = [("tuple", None, "interpreted")]
+    for batch in batch_sizes:
+        configurations.append((f"batched[{batch}]", batch, "interpreted"))
+    for batch in batch_sizes:
+        configurations.append((f"compiled[{batch}]", batch, "compiled"))
+
+    per_query: dict[str, dict[str, dict]] = {name: {} for name in queries}
+    equivalent = True
+    mismatches: list[str] = []
+
+    for name, query in queries.items():
+        reference = None
+        for label, batch, mode in configurations:
+            best_wall = None
+            observables = None
+            for _ in range(max(repeats, 1)):
+                executor = PipelinedExecutor(
+                    dataset.sources, batch_size=batch, engine_mode=mode
+                )
+                start = time.perf_counter()
+                rows, plan = executor.execute(query, trees[name])
+                wall = time.perf_counter() - start
+                if best_wall is None or wall < best_wall:
+                    best_wall = wall
+                observables = (
+                    _row_multiset(rows),
+                    plan.metrics.as_dict(),
+                    plan.clock.now,
+                )
+            multiset, metrics, simulated = observables
+            per_query[name][label] = {
+                "wall_seconds": round(best_wall, 6),
+                "simulated_seconds": round(simulated, 6),
+                "answers": sum(multiset.values()),
+            }
+            if reference is None:
+                reference = multiset
+            elif multiset != reference:
+                equivalent = False
+                mismatches.append(f"{name}:{label}:multiset")
+            per_query[name][label]["_metrics"] = metrics
+            per_query[name][label]["_simulated"] = simulated
+
+        # Compiled must be bit-identical to interpreted batched per batch size.
+        for batch in batch_sizes:
+            batched = per_query[name][f"batched[{batch}]"]
+            compiled = per_query[name][f"compiled[{batch}]"]
+            if batched["_metrics"] != compiled["_metrics"]:
+                equivalent = False
+                mismatches.append(f"{name}:batch{batch}:metrics")
+            if batched["_simulated"] != compiled["_simulated"]:
+                equivalent = False
+                mismatches.append(f"{name}:batch{batch}:simulated_seconds")
+        for entry in per_query[name].values():
+            entry.pop("_metrics", None)
+            entry.pop("_simulated", None)
+
+    # Corrective cross-check: adaptive execution from a bad plan must agree
+    # on phases, counters and simulated seconds between the two engines.
+    corrective_equivalent = True
+    corrective_phases: dict[str, int] = {}
+    for name, query in queries.items():
+        bad_tree = worst_left_deep_tree(query, dataset)
+        reports = {}
+        for mode in ("interpreted", "compiled"):
+            processor = CorrectiveQueryProcessor(
+                dataset.catalog_no_statistics,
+                dataset.sources,
+                polling_interval_seconds=DEFAULT_POLLING_INTERVAL,
+                batch_size=HEADLINE_BATCH,
+                engine_mode=mode,
+            )
+            reports[mode] = processor.execute(query, initial_tree=bad_tree)
+        interpreted, compiled = reports["interpreted"], reports["compiled"]
+        corrective_phases[name] = interpreted.num_phases
+        if (
+            Counter(interpreted.rows) != Counter(compiled.rows)
+            or interpreted.metrics.as_dict() != compiled.metrics.as_dict()
+            or interpreted.simulated_seconds != compiled.simulated_seconds
+            or interpreted.num_phases != compiled.num_phases
+        ):
+            corrective_equivalent = False
+            mismatches.append(f"{name}:corrective")
+
+    def total_wall(label: str) -> float:
+        return sum(per_query[name][label]["wall_seconds"] for name in queries)
+
+    tuple_wall = total_wall("tuple")
+    speedups: dict[str, dict[str, float]] = {}
+    for batch in batch_sizes:
+        batched_wall = total_wall(f"batched[{batch}]")
+        compiled_wall = total_wall(f"compiled[{batch}]")
+        speedups[str(batch)] = {
+            "batched_vs_tuple": round(tuple_wall / max(batched_wall, 1e-9), 3),
+            "compiled_vs_tuple": round(tuple_wall / max(compiled_wall, 1e-9), 3),
+            "compiled_vs_batched": round(
+                batched_wall / max(compiled_wall, 1e-9), 3
+            ),
+        }
+
+    return {
+        "benchmark": "engine_modes_fig2_smoke",
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "queries": list(queries),
+        "batch_sizes": list(batch_sizes),
+        "repeats": repeats,
+        "headline_batch": HEADLINE_BATCH,
+        "wall_seconds": {
+            label: round(total_wall(label), 6)
+            for label, _, _ in configurations
+        },
+        "per_query": per_query,
+        "speedups": speedups,
+        "corrective_phase_counts": corrective_phases,
+        "equivalence_check": equivalent and corrective_equivalent,
+        "equivalence_mismatches": mismatches,
+        "targets": {
+            "compiled_vs_batched": TARGET_COMPILED_VS_BATCHED,
+            "compiled_vs_tuple": TARGET_COMPILED_VS_TUPLE,
+        },
+    }
+
+
+def engine_bench_rows(result: dict) -> list[dict[str, object]]:
+    """Tabular view of the benchmark record for the CLI."""
+    rows = []
+    for label, wall in result["wall_seconds"].items():
+        rows.append(
+            {
+                "mode": label,
+                "wall_ms": round(wall * 1000.0, 2),
+                "batched/tuple": "",
+                "compiled/tuple": "",
+                "compiled/batched": "",
+            }
+        )
+    for batch, ratios in result["speedups"].items():
+        rows.append(
+            {
+                "mode": f"speedup@{batch}",
+                "wall_ms": "",
+                "batched/tuple": ratios["batched_vs_tuple"],
+                "compiled/tuple": ratios["compiled_vs_tuple"],
+                "compiled/batched": ratios["compiled_vs_batched"],
+            }
+        )
+    return rows

@@ -11,6 +11,7 @@ consumer's expectation (paper Section 3.2, "State Structure Compatibility").
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -48,11 +49,33 @@ class TupleAdapter:
                 missing.append(pos)
         object.__setattr__(self, "_mapping", tuple(mapping))
         object.__setattr__(self, "_missing", tuple(missing))
+        # Fast path: when every target attribute exists in the source the
+        # gather is a pure positional permutation, which operator.itemgetter
+        # performs in C.  itemgetter's arity quirks (scalar result for one
+        # index, no zero-index form) are normalized here so that `_getter`
+        # always returns a tuple, exactly like the generic loop.
+        getter = None
+        if not missing:
+            if len(mapping) >= 2:
+                getter = operator.itemgetter(*mapping)
+            elif len(mapping) == 1:
+                single = operator.itemgetter(mapping[0])
+                getter = lambda values, _g=single: (_g(values),)  # noqa: E731
+            else:
+                getter = lambda values: ()  # noqa: E731
+        object.__setattr__(self, "_getter", getter)
 
     @property
     def is_identity(self) -> bool:
-        """True when source and target layouts already coincide."""
-        return self._mapping == tuple(range(len(self.target)))  # type: ignore[attr-defined]
+        """True when source and target layouts already coincide.
+
+        Requires equal arity: a target that is a strict prefix of the source
+        still needs a projecting gather (``adapt_many`` short-circuits
+        identity adapters by returning rows unchanged).
+        """
+        return len(self.source) == len(self.target) and self._mapping == tuple(
+            range(len(self.target))
+        )  # type: ignore[attr-defined]
 
     @property
     def has_missing(self) -> bool:
@@ -61,14 +84,23 @@ class TupleAdapter:
 
     def adapt(self, values: tuple) -> tuple:
         """Return ``values`` rearranged into the target schema's order."""
+        getter = self._getter  # type: ignore[attr-defined]
+        if getter is not None:
+            return getter(values)
         mapping = self._mapping  # type: ignore[attr-defined]
         fill = self.fill_value
         return tuple(values[i] if i >= 0 else fill for i in mapping)
+
+    # Adapters are applied like functions on hot paths; make that literal.
+    __call__ = adapt
 
     def adapt_many(self, rows: Sequence[tuple]) -> list[tuple]:
         """Adapt a batch of tuples."""
         if self.is_identity:
             return list(rows)
+        getter = self._getter  # type: ignore[attr-defined]
+        if getter is not None:
+            return list(map(getter, rows))
         return [self.adapt(row) for row in rows]
 
 

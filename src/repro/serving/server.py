@@ -153,6 +153,7 @@ class QueryServer:
         stats_cache: SharedStatisticsCache | None = None,
         share_statistics: bool = True,
         order_adaptive: bool = False,
+        engine_mode: str = "interpreted",
     ) -> None:
         """``quantum_tuples`` is the scheduling granularity: how many source
         tuples one grant may process before control returns to the scheduler
@@ -162,11 +163,28 @@ class QueryServer:
         turns on order-adaptive join processing in every session; discovered
         orderings travel through the shared statistics cache, so an order
         learned while serving one query lets later queries start on merge
-        joins immediately.  The remaining knobs are forwarded to each
-        session's :class:`CorrectiveQueryProcessor`.
+        joins immediately.  ``engine_mode="compiled"`` (requires a
+        ``batch_size``) runs every session's phases through the fused
+        compiled batch pipelines; served answers, per-query simulated
+        timings and phase counts are bit-identical to interpreted serving,
+        and each session recompiles per phase exactly as in solo execution —
+        incremental quanta suspend and resume compiled plans transparently.
+        The remaining knobs are forwarded to each session's
+        :class:`CorrectiveQueryProcessor`.
         """
         if quantum_tuples < 1:
             raise ValueError("quantum_tuples must be positive")
+        from repro.engine.compiled import ENGINE_MODES
+
+        if engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine_mode {engine_mode!r}; expected one of {ENGINE_MODES}"
+            )
+        if engine_mode == "compiled" and batch_size is None:
+            raise ValueError(
+                "engine_mode='compiled' requires batch_size (the compiled "
+                "engine specializes the batched execution path)"
+            )
         # The server owns a private catalog copy: learned statistics are
         # published into it between sessions without mutating the caller's.
         self.catalog = catalog.copy()
@@ -183,6 +201,7 @@ class QueryServer:
         self.stats_cache = stats_cache or SharedStatisticsCache()
         self.share_statistics = share_statistics
         self.order_adaptive = order_adaptive
+        self.engine_mode = engine_mode
         self.clock = SimulatedClock(self.cost_model)
         self._sessions: list[QuerySession] = []
         self._turn = 0
@@ -225,6 +244,7 @@ class QueryServer:
             bushy=self.bushy,
             batch_size=self.batch_size,
             order_adaptive=self.order_adaptive,
+            engine_mode=self.engine_mode,
         )
         self._sessions.append(
             QuerySession(

@@ -83,6 +83,34 @@ class RemoteSource(DataSource):
 
         return batches()
 
+    def open_stream_columns(self, batch_size: int):
+        """Column chunks over the cached schedule, without pair materialization.
+
+        The primed :attr:`arrival_schedule` tuple is fetched **once** per
+        open (one memoized property access — priming therefore happens at
+        most once per (source, network) pair no matter how many cursors or
+        chunks consume the source), and each chunk is one row slice plus one
+        schedule slice.  Chunks whose last arrival is 0.0 are emitted with
+        ``arrivals=None`` (the all-immediate representation): per-source
+        arrival times are non-decreasing, so the last entry bounds the chunk.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.open_count += 1
+        rows = self.relation.rows
+        schedule = self.arrival_schedule
+
+        def chunks():
+            for start in range(0, len(rows), batch_size):
+                stop = start + batch_size
+                arrivals = schedule[start:stop]
+                if arrivals and arrivals[-1] <= 0.0:
+                    yield rows[start:stop], None
+                else:
+                    yield rows[start:stop], arrivals
+
+        return chunks()
+
     def __len__(self) -> int:
         return len(self.relation)
 

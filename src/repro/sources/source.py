@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -44,6 +44,24 @@ class DataSource:
         if batch:
             yield batch
 
+    def open_stream_columns(
+        self, batch_size: int
+    ) -> Iterator[tuple[Sequence[tuple], Sequence[float] | None]]:
+        """Yield the stream as ``(rows, arrivals)`` column chunks.
+
+        ``arrivals`` is either a sequence parallel to ``rows`` (non-decreasing
+        per the source contract) or ``None``, meaning *every* row of the chunk
+        arrives at time 0.0 — the representation that lets cursors consume
+        local data with plain slices instead of per-tuple pair unpacking.
+        Materialized sources override this with direct slicing; the default
+        adapter transposes :meth:`open_stream_batches` chunks once per chunk.
+        """
+        for batch in self.open_stream_batches(batch_size):
+            if not batch:
+                continue
+            rows, arrivals = zip(*batch)
+            yield rows, (None if max(arrivals) <= 0.0 else arrivals)
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"{type(self).__name__}({self.name!r})"
 
@@ -69,6 +87,16 @@ class LocalSource(DataSource):
         rows = self.relation.rows
         for start in range(0, len(rows), batch_size):
             yield [(row, 0.0) for row in rows[start : start + batch_size]]
+
+    def open_stream_columns(
+        self, batch_size: int
+    ) -> Iterator[tuple[Sequence[tuple], None]]:
+        """Local data: plain row slices, arrivals implicitly all-zero."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        rows = self.relation.rows
+        for start in range(0, len(rows), batch_size):
+            yield rows[start : start + batch_size], None
 
     def __len__(self) -> int:
         return len(self.relation)

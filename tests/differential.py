@@ -57,6 +57,11 @@ from repro.sources.remote import RemoteSource
 #: Batch sizes every differential case is executed with (issue-mandated).
 BATCH_SIZES = (1, 7, 64, 1024)
 
+#: Batch sizes the compiled engine column runs at (a subset keeps the base
+#: suite's runtime in check; the dedicated compiled differential suite in
+#: ``test_differential_compiled.py`` covers the full equivalence contract).
+COMPILED_BATCH_SIZES = (7, 64)
+
 #: Re-optimization poll interval for the corrective runs.  Small enough that
 #: even the tiny randomized workloads get polled several times, so plan
 #: switches actually happen on a healthy fraction of the seeds.
@@ -381,11 +386,16 @@ def run_differential_case(seed: int) -> DifferentialResult:
         canonical_names,
     )
 
-    for label, batch_size in [("pipelined", None)] + [
-        (f"batched[{batch_size}]", batch_size) for batch_size in BATCH_SIZES
-    ]:
+    engine_columns = [("pipelined", None, "interpreted")] + [
+        (f"batched[{batch_size}]", batch_size, "interpreted")
+        for batch_size in BATCH_SIZES
+    ] + [
+        (f"compiled[{batch_size}]", batch_size, "compiled")
+        for batch_size in COMPILED_BATCH_SIZES
+    ]
+    for label, batch_size, engine_mode in engine_columns:
         rows, plan = PipelinedExecutor(
-            workload.sources(), batch_size=batch_size
+            workload.sources(), batch_size=batch_size, engine_mode=engine_mode
         ).execute(query, fixed_tree)
         names = (
             canonical_names
@@ -396,14 +406,20 @@ def run_differential_case(seed: int) -> DifferentialResult:
             rows, names, canonical_names
         )
 
-    for label, batch_size in [("corrective", None)] + [
-        (f"corrective[{batch_size}]", batch_size) for batch_size in BATCH_SIZES
-    ]:
+    corrective_columns = [("corrective", None, "interpreted")] + [
+        (f"corrective[{batch_size}]", batch_size, "interpreted")
+        for batch_size in BATCH_SIZES
+    ] + [
+        (f"corrective-compiled[{batch_size}]", batch_size, "compiled")
+        for batch_size in COMPILED_BATCH_SIZES
+    ]
+    for label, batch_size, engine_mode in corrective_columns:
         report = CorrectiveQueryProcessor(
             catalog,
             workload.sources(),
             polling_interval_seconds=POLLING_INTERVAL,
             batch_size=batch_size,
+            engine_mode=engine_mode,
         ).execute(query, initial_tree=bad_tree, poll_step_limit=POLL_STEP_LIMIT)
         result.row_multisets[label] = _canonical_multiset(
             report.rows, report.schema.names, canonical_names
@@ -527,6 +543,221 @@ def run_serving_differential_case(
         serving_report=report,
         solo_phase_counts=solo_phase_counts,
         served_phase_counts=served_phase_counts,
+    )
+
+
+@dataclass
+class EngineObservables:
+    """Everything the compiled-equivalence contract pins for one run."""
+
+    multiset: Counter
+    metrics: dict[str, int]
+    simulated_seconds: float
+    phases: int
+
+
+@dataclass
+class CompiledDifferentialResult:
+    """Interpreted-vs-compiled observables for one workload (solo corrective)."""
+
+    seed: int
+    workload: DifferentialWorkload
+    reference: Counter
+    interpreted: EngineObservables
+    compiled: EngineObservables
+
+
+def run_compiled_differential_case(
+    seed: int, batch_size: int = 64
+) -> CompiledDifferentialResult:
+    """Run one workload through corrective processing with both engines.
+
+    Both runs start from the same deliberately bad plan with identical
+    polling parameters, so they traverse the same phases — the compiled
+    engine must match the interpreted batched engine **bit for bit**:
+    result multiset, every work counter, simulated seconds (local *and*
+    remote sources — the compiled engine preserves even the clock-charge
+    granularity) and the number of corrective phases.
+    """
+    workload = generate_workload(seed)
+    query = workload.query
+    canonical_names = _canonical_names(workload)
+    bad_tree = _bad_initial_tree(workload)
+    observed = {}
+    for engine_mode in ("interpreted", "compiled"):
+        report = CorrectiveQueryProcessor(
+            workload.catalog(),
+            workload.sources(),
+            polling_interval_seconds=POLLING_INTERVAL,
+            batch_size=batch_size,
+            engine_mode=engine_mode,
+        ).execute(query, initial_tree=bad_tree, poll_step_limit=POLL_STEP_LIMIT)
+        observed[engine_mode] = EngineObservables(
+            multiset=_canonical_multiset(
+                report.rows, report.schema.names, canonical_names
+            ),
+            metrics=report.metrics.as_dict(),
+            simulated_seconds=report.simulated_seconds,
+            phases=report.num_phases,
+        )
+    return CompiledDifferentialResult(
+        seed=seed,
+        workload=workload,
+        reference=Counter(reference_spja(query, workload.relations)),
+        interpreted=observed["interpreted"],
+        compiled=observed["compiled"],
+    )
+
+
+def assert_compiled_differential_case(result: CompiledDifferentialResult) -> None:
+    """Assert the full bit-identical contract for one solo compiled case."""
+    name = result.workload.query.name
+    assert result.interpreted.multiset == result.reference, (
+        f"seed {result.seed}: interpreted corrective run disagrees with the "
+        f"reference oracle on {name}"
+    )
+    assert result.compiled.multiset == result.reference, (
+        f"seed {result.seed}: compiled corrective run disagrees with the "
+        f"reference oracle on {name}"
+    )
+    assert result.compiled.metrics == result.interpreted.metrics, (
+        f"seed {result.seed}: compiled work counters diverge on {name}: "
+        f"{result.compiled.metrics} vs {result.interpreted.metrics}"
+    )
+    assert result.compiled.simulated_seconds == result.interpreted.simulated_seconds, (
+        f"seed {result.seed}: compiled simulated seconds diverge on {name} "
+        f"({result.compiled.simulated_seconds!r} vs "
+        f"{result.interpreted.simulated_seconds!r})"
+    )
+    assert result.compiled.phases == result.interpreted.phases, (
+        f"seed {result.seed}: compiled phase count diverges on {name} "
+        f"({result.compiled.phases} vs {result.interpreted.phases})"
+    )
+
+
+@dataclass
+class CompiledServingDifferentialResult:
+    """Interpreted-vs-compiled comparison of one whole serving run."""
+
+    seeds: tuple[int, ...]
+    policy: str
+    batch_size: int
+    workloads: list[DifferentialWorkload]
+    references: list[Counter]
+    interpreted: list[EngineObservables]
+    compiled: list[EngineObservables]
+    interpreted_makespan: float
+    compiled_makespan: float
+
+
+def run_compiled_serving_differential_case(
+    seeds, policy: str = "round_robin", batch_size: int = 64
+) -> CompiledServingDifferentialResult:
+    """Serve the same workload mix with both engines and collect observables.
+
+    The servers are configured identically (shared clock, same policy and
+    quantum); because the compiled engine charges bit-identical work at
+    bit-identical points, the schedulers make identical decisions and every
+    served query must report identical answers, counters, simulated timings
+    and phase counts — the whole serving run is replayed exactly.
+    """
+    from repro.serving.server import QueryServer
+
+    workloads = [
+        generate_workload(seed, name_prefix=f"w{index}_")
+        for index, seed in enumerate(seeds)
+    ]
+    references = [
+        Counter(reference_spja(workload.query, workload.relations))
+        for workload in workloads
+    ]
+
+    observed: dict[str, list[EngineObservables]] = {}
+    makespans: dict[str, float] = {}
+    for engine_mode in ("interpreted", "compiled"):
+        catalog = Catalog()
+        sources: dict[str, object] = {}
+        for workload in workloads:
+            for name, relation in workload.relations.items():
+                catalog.register(name, relation.schema)
+            sources.update(workload.sources())
+        server = QueryServer(
+            catalog,
+            sources,
+            policy=policy,
+            batch_size=batch_size,
+            quantum_tuples=POLL_STEP_LIMIT,
+            polling_interval_seconds=POLLING_INTERVAL,
+            engine_mode=engine_mode,
+        )
+        for workload in workloads:
+            server.submit(
+                workload.query,
+                initial_tree=_bad_initial_tree(workload),
+                label=workload.query.name,
+            )
+        report = server.run()
+        assert len(report.served) == len(workloads)
+        rows = []
+        for served, workload in zip(report.served, workloads):
+            assert served.query_name == workload.query.name
+            rows.append(
+                EngineObservables(
+                    multiset=_canonical_multiset(
+                        served.rows,
+                        served.report.schema.names,
+                        _canonical_names(workload),
+                    ),
+                    metrics=served.report.metrics.as_dict(),
+                    simulated_seconds=served.report.simulated_seconds,
+                    phases=served.phases,
+                )
+            )
+        observed[engine_mode] = rows
+        makespans[engine_mode] = report.makespan
+    return CompiledServingDifferentialResult(
+        seeds=tuple(seeds),
+        policy=policy,
+        batch_size=batch_size,
+        workloads=workloads,
+        references=references,
+        interpreted=observed["interpreted"],
+        compiled=observed["compiled"],
+        interpreted_makespan=makespans["interpreted"],
+        compiled_makespan=makespans["compiled"],
+    )
+
+
+def assert_compiled_serving_differential_case(
+    result: CompiledServingDifferentialResult,
+) -> None:
+    """Assert the bit-identical contract for one served workload mix."""
+    for workload, reference, interpreted, compiled in zip(
+        result.workloads, result.references, result.interpreted, result.compiled
+    ):
+        name = workload.query.name
+        context = (
+            f"policy {result.policy!r}, batch_size={result.batch_size}, "
+            f"query {name} (seed {workload.seed})"
+        )
+        assert interpreted.multiset == reference, (
+            f"{context}: interpreted served answer disagrees with the oracle"
+        )
+        assert compiled.multiset == reference, (
+            f"{context}: compiled served answer disagrees with the oracle"
+        )
+        assert compiled.metrics == interpreted.metrics, (
+            f"{context}: served work counters diverge"
+        )
+        assert compiled.simulated_seconds == interpreted.simulated_seconds, (
+            f"{context}: served simulated seconds diverge"
+        )
+        assert compiled.phases == interpreted.phases, (
+            f"{context}: served phase counts diverge"
+        )
+    assert result.compiled_makespan == result.interpreted_makespan, (
+        f"policy {result.policy!r}: serving makespans diverge "
+        f"({result.compiled_makespan!r} vs {result.interpreted_makespan!r})"
     )
 
 
