@@ -1,0 +1,317 @@
+"""The adaptation controller: one decide-and-switch loop for every executor.
+
+Before this kernel existed, each executor hand-wired its own
+monitor → re-optimizer → switch loop.  Now an executor drives a single
+:class:`AdaptationController`:
+
+* :meth:`AdaptationController.begin` opens an :class:`AdaptationRun` for one
+  query execution — policies get their ``begin_run`` hook (e.g. the
+  join-strategy policy attaches order detectors and seeds promises);
+* at every monitor poll the executor calls :meth:`AdaptationRun.poll`, which
+  drains the monitor's typed event queue, fans the events out to the
+  policies, collects the actions they propose, applies side-effecting
+  actions (read re-prioritization) and arbitrates plan switches;
+* the executor applies the winning :class:`SwitchPlanAction` exactly as it
+  used to apply the re-optimizer's verdict — it never needs to know *which*
+  policy asked for the switch, which is what lets new adaptive behaviours
+  ship as policy classes without touching the executors.
+
+Arbitration is deterministic: policies are consulted in registration order
+and the first switch proposal wins (re-prioritizations all apply).  The
+default policy stack reproduces the pre-kernel behaviour bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AdaptationContext:
+    """Everything a policy may consult when asked for a decision."""
+
+    query: object
+    catalog: object
+    observed: object
+    phase_id: int
+    now: float
+    current_tree: object
+    current_strategies: dict | None
+    can_switch: bool
+    plan: object | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptationContext(query={getattr(self.query, 'name', '?')!r}, "
+            f"phase={self.phase_id}, t={self.now:.3f}s, "
+            f"can_switch={self.can_switch})"
+        )
+
+
+class AdaptationAction:
+    """Base class for what a policy wants the executor to do."""
+
+    reason: str = ""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.reason!r})"
+
+
+class SwitchPlanAction(AdaptationAction):
+    """Abandon the running plan for ``tree`` at the next consistent point.
+
+    ``strategies`` carries the proposing policy's physical-strategy
+    recommendation for reporting; the executor re-derives the actual
+    assignment when it builds the next phase (fresh knowledge may have
+    arrived by then), exactly as the pre-kernel corrective loop did.
+    """
+
+    def __init__(
+        self,
+        tree,
+        reason: str,
+        strategies: dict | None = None,
+        improvement: float = 0.0,
+        same_tree: bool = False,
+        policy: str = "",
+    ) -> None:
+        self.tree = tree
+        self.reason = reason
+        self.strategies = strategies
+        self.improvement = improvement
+        self.same_tree = same_tree
+        self.policy = policy
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchPlanAction(tree={self.tree}, policy={self.policy!r}, "
+            f"improvement={self.improvement:.0%}, reason={self.reason!r})"
+        )
+
+
+class ReprioritizeReadsAction(AdaptationAction):
+    """Demote (``priority > 0``) or restore (``priority == 0``) source reads.
+
+    The read scheduler keeps its availability-driven order but, among
+    equally available tuples, prefers lower priority numbers — the
+    source-rate policy uses this to steer the water-filling schedule away
+    from sources whose delivery has collapsed (see
+    ``PipelinedPlan.read_priorities``).
+    """
+
+    def __init__(self, priorities: dict[str, int], reason: str, policy: str = "") -> None:
+        self.priorities = dict(priorities)
+        self.reason = reason
+        self.policy = policy
+
+    def __repr__(self) -> str:
+        return (
+            f"ReprioritizeReadsAction({self.priorities!r}, "
+            f"policy={self.policy!r}, reason={self.reason!r})"
+        )
+
+
+class AdaptationRun:
+    """Per-execution adaptation state: one query's trip through the kernel."""
+
+    def __init__(
+        self,
+        controller: "AdaptationController",
+        query,
+        catalog,
+        monitor=None,
+        cursors: dict | None = None,
+        sources: dict | None = None,
+    ) -> None:
+        self.controller = controller
+        self.query = query
+        self.catalog = catalog
+        self.monitor = monitor
+        self.cursors = cursors or {}
+        self.sources = sources or {}
+        #: live read-priority overrides (relation -> priority class); the
+        #: executor mirrors this into every phase's plan
+        self.read_priorities: dict[str, int] = {}
+        self.event_counts: Counter = Counter()
+        self.switches: list[SwitchPlanAction] = []
+        self.reprioritizations: int = 0
+        self._scratch: dict[int, dict] = {}
+        for policy in controller.policies:
+            policy.begin_run(self)
+
+    # -- per-policy scratch space ------------------------------------------------
+
+    def scratch(self, policy) -> dict:
+        """Private per-run state store for one policy instance."""
+        return self._scratch.setdefault(id(policy), {})
+
+    # -- phase hooks ---------------------------------------------------------------
+
+    def current_ordering(self):
+        """Ordering knowledge for plan choice (None unless a policy supplies it)."""
+        for policy in self.controller.policies:
+            ordering = policy.current_ordering(self)
+            if ordering is not None:
+                return ordering
+        return None
+
+    def phase_strategies(self, tree) -> dict | None:
+        """Physical join-strategy assignment for a phase about to start."""
+        for policy in self.controller.policies:
+            strategies = policy.phase_strategies(self, tree)
+            if strategies is not None:
+                return strategies
+        return None
+
+    # -- the decide loop -----------------------------------------------------------
+
+    def poll(
+        self,
+        plan,
+        current_tree,
+        current_strategies: dict | None,
+        phase_id: int,
+        now: float,
+        can_switch: bool,
+    ) -> SwitchPlanAction | None:
+        """One adaptation round: dispatch events, collect and apply actions.
+
+        Returns the winning plan switch (or ``None`` to keep going).  The
+        executor must have refreshed its monitor immediately before calling,
+        so the event queue and ``monitor.observed`` describe the present.
+        """
+        policies = self.controller.policies
+        if self.monitor is not None:
+            for event in self.monitor.drain_events():
+                self.event_counts[type(event).__name__] += 1
+                for policy in policies:
+                    policy.observe(self, event)
+        context = AdaptationContext(
+            query=self.query,
+            catalog=self.catalog,
+            observed=self.monitor.observed if self.monitor is not None else None,
+            phase_id=phase_id,
+            now=now,
+            current_tree=current_tree,
+            current_strategies=current_strategies,
+            can_switch=can_switch,
+            plan=plan,
+        )
+        winner: SwitchPlanAction | None = None
+        for policy in policies:
+            proposed = policy.decide(self, context)
+            if proposed is None:
+                continue
+            if isinstance(proposed, AdaptationAction):
+                proposed = (proposed,)
+            for action in proposed:
+                if isinstance(action, ReprioritizeReadsAction):
+                    self._apply_priorities(action, plan)
+                elif isinstance(action, SwitchPlanAction):
+                    if not action.policy:
+                        action.policy = policy.name
+                    if can_switch and winner is None:
+                        winner = action
+        if winner is not None:
+            self.switches.append(winner)
+        return winner
+
+    def _apply_priorities(self, action: ReprioritizeReadsAction, plan) -> None:
+        if action.priorities == {
+            name: self.read_priorities.get(name, 0) for name in action.priorities
+        }:
+            return
+        self.read_priorities.update(action.priorities)
+        # Restored (priority 0) entries are the default — drop them so a
+        # fully recovered pool leaves the dict empty and the engine's
+        # priority-free fast paths (including the compiled all-immediate
+        # driver) re-engage for the rest of the run.
+        for name in [
+            name for name, priority in self.read_priorities.items() if priority == 0
+        ]:
+            del self.read_priorities[name]
+        self.reprioritizations += 1
+        if plan is not None and hasattr(plan, "read_priorities"):
+            plan.read_priorities = dict(self.read_priorities)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "policies": [policy.name for policy in self.controller.policies],
+            "events": dict(self.event_counts),
+            "switches": [
+                {"policy": action.policy, "reason": action.reason}
+                for action in self.switches
+            ],
+            "reprioritizations": self.reprioritizations,
+            "read_priorities": dict(self.read_priorities),
+        }
+
+
+class AdaptationController:
+    """Registry of adaptation policies plus the machinery to consult them."""
+
+    def __init__(self, policies=()) -> None:
+        self._policies: list = list(policies)
+
+    @property
+    def policies(self) -> tuple:
+        return tuple(self._policies)
+
+    def register(self, policy):
+        """Append ``policy`` to the consultation order; returns it.
+
+        This is the extension point the kernel exists for: a new adaptive
+        behaviour is one policy class registered here — no executor code
+        changes (proven by the stub-policy unit test).
+        """
+        self._policies.append(policy)
+        return policy
+
+    def policy(self, name: str):
+        """Look a registered policy up by its ``name`` (None when absent)."""
+        for policy in self._policies:
+            if policy.name == name:
+                return policy
+        return None
+
+    def begin(
+        self,
+        query,
+        catalog,
+        monitor=None,
+        cursors: dict | None = None,
+        sources: dict | None = None,
+    ) -> AdaptationRun:
+        """Open the adaptation run for one query execution."""
+        return AdaptationRun(
+            self, query, catalog, monitor=monitor, cursors=cursors, sources=sources
+        )
+
+    # -- cross-query (serving) hooks --------------------------------------------------
+
+    def session_starting(self, query, catalog):
+        """A serving session is being activated: collect seed statistics.
+
+        The first policy that supplies seed observations wins (the shared
+        learning policy is the only supplier in the default stack).
+        """
+        for policy in self._policies:
+            seed = policy.session_starting(query, catalog)
+            if seed is not None:
+                return seed
+        return None
+
+    def session_finished(self, report, catalog) -> None:
+        """A serving session completed: let policies absorb what it learned."""
+        for policy in self._policies:
+            policy.session_finished(report, catalog)
+
+    def describe(self) -> dict[str, object]:
+        return {"policies": [policy.name for policy in self._policies]}
+
+    def __repr__(self) -> str:
+        names = ", ".join(policy.name for policy in self._policies)
+        return f"AdaptationController([{names}])"

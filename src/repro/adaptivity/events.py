@@ -1,0 +1,142 @@
+"""Typed adaptation events: what the execution monitor tells the policies.
+
+Events are *observations*, not decisions: each one states a fact about the
+running execution (a subexpression's selectivity moved, an arrival order was
+confirmed, a source's delivery rate changed) in a form every policy can
+consume without reaching into engine internals.  The
+:class:`~repro.core.monitor.ExecutionMonitor` appends events to its queue
+during each poll; the :class:`~repro.adaptivity.controller.AdaptationController`
+drains the queue and fans the events out to its policies.
+
+All events carry the phase and the simulated clock reading at which they
+were observed, so a policy can reason about history (the source-rate policy
+keeps per-source rate windows this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdaptationEvent:
+    """Base class: one observation made at a monitor poll."""
+
+    phase_id: int
+    simulated_seconds: float
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(phase={self.phase_id}, "
+            f"t={self.simulated_seconds:.3f}s)"
+        )
+
+
+@dataclass(repr=False)
+class SelectivityDriftEvent(AdaptationEvent):
+    """A subexpression's observed selectivity was recorded or changed.
+
+    ``previous`` is ``None`` the first time the subexpression is observed.
+    """
+
+    relations: frozenset
+    selectivity: float
+    previous: float | None = None
+
+    def __repr__(self) -> str:
+        drift = (
+            "first observation"
+            if self.previous is None
+            else f"{self.previous:.6f} -> {self.selectivity:.6f}"
+        )
+        return (
+            f"SelectivityDriftEvent(phase={self.phase_id}, "
+            f"t={self.simulated_seconds:.3f}s, "
+            f"{' ⋈ '.join(sorted(self.relations))}: {drift})"
+        )
+
+
+@dataclass(repr=False)
+class OrderingObservedEvent(AdaptationEvent):
+    """An order detector's verdict about one source attribute was folded in."""
+
+    relation: str
+    attribute: str
+    direction: int | None
+    in_order_fraction: float
+    observed: int
+
+    def __repr__(self) -> str:
+        direction = {1: "asc", -1: "desc", None: "unordered"}[self.direction]
+        return (
+            f"OrderingObservedEvent(phase={self.phase_id}, "
+            f"t={self.simulated_seconds:.3f}s, {self.relation}.{self.attribute} "
+            f"{direction} in_order={self.in_order_fraction:.2%} "
+            f"over {self.observed} arrivals)"
+        )
+
+
+@dataclass(repr=False)
+class SourceRateEvent(AdaptationEvent):
+    """Per-source arrival-rate / stall telemetry from one cursor.
+
+    ``consumed`` is the cursor's cumulative consumption; ``next_arrival`` is
+    the arrival time of the next pending tuple (``None`` when the stream is
+    exhausted); ``promised_rate`` is the catalog's / source's claimed
+    delivery rate in tuples per simulated second (``None`` when the provider
+    promises nothing).  Rate *estimation* is left to the consuming policy —
+    the event records raw telemetry so different policies can window it
+    differently.
+    """
+
+    relation: str
+    consumed: int
+    next_arrival: float | None
+    exhausted: bool
+    promised_rate: float | None = None
+    remote: bool = False
+    #: tuples the source has *delivered* by now (``None`` when the source
+    #: cannot report it).  Delivery, not consumption, judges a rate promise:
+    #: tuples sitting unread in the receive buffer are the engine's backlog,
+    #: not the source's failure.
+    arrived: int | None = None
+
+    @property
+    def stall_seconds(self) -> float:
+        """How far in the future the next pending tuple arrives (0 if ready)."""
+        if self.next_arrival is None:
+            return 0.0
+        return max(self.next_arrival - self.simulated_seconds, 0.0)
+
+    def __repr__(self) -> str:
+        if self.exhausted:
+            pending = "exhausted"
+        elif self.next_arrival is None:
+            pending = "pending=?"
+        else:
+            pending = f"next_arrival={self.next_arrival:.3f}s"
+        promise = (
+            f", promised={self.promised_rate:.0f}tps"
+            if self.promised_rate is not None
+            else ""
+        )
+        return (
+            f"SourceRateEvent(phase={self.phase_id}, "
+            f"t={self.simulated_seconds:.3f}s, {self.relation}: "
+            f"consumed={self.consumed}, {pending}{promise})"
+        )
+
+
+@dataclass(repr=False)
+class SourceExhaustedEvent(AdaptationEvent):
+    """A source delivered its last tuple (its cardinality is now exact)."""
+
+    relation: str
+    tuples_read: int
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceExhaustedEvent(phase={self.phase_id}, "
+            f"t={self.simulated_seconds:.3f}s, {self.relation}: "
+            f"{self.tuples_read} tuples)"
+        )

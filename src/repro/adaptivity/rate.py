@@ -1,0 +1,433 @@
+"""Source-rate adaptivity: react when a source's delivery collapses.
+
+The paper's thesis covers *all* source properties — content statistics,
+ordering, and arrival rates.  This policy closes the third gap: it watches
+the per-source :class:`~repro.adaptivity.events.SourceRateEvent` telemetry
+and reacts when a source delivers far fewer tuples than its catalog promise
+(``promised_rate`` on :class:`~repro.relational.catalog.TableStatistics`)
+says it should have by now.
+
+Two actions:
+
+* **Read re-prioritization** — demote the collapsed source in the
+  water-filling read schedule (restore it when the rate recovers).  Among
+  *available* tuples the engine then drains healthy sources first, so the
+  partitions a soon-to-be-abandoned plan accumulates for the collapsed
+  source stay small, keeping the eventual stitch-up cheap.
+
+* **Rate-aware plan switching** — propose a switch to a tree that *gates*
+  the expensive joins behind the collapsed source.  The work-only
+  re-optimizer cannot see this opportunity: two trees of near-equal total
+  work can differ hugely in *completion time*, because work that does not
+  depend on the collapsed source's tuples is masked by the arrival stall
+  (the engine computes while it waits), while work downstream of the
+  collapsed source serializes after its arrivals.  The policy therefore
+  scores every candidate tree by its **exposed work** — the part of its
+  completion time the arrival window cannot absorb::
+
+      exposed(tree) ≈ max(ungated_work − T_R, 0) + gated_work
+
+  where ``T_R`` is the estimated remaining arrival window of the collapsed
+  source (its unread tuples at its *observed* rate, at least its current
+  stall), ``gated_work`` is the cost attributable to that source's stream
+  (its reads, its side of every join node containing it, and those nodes'
+  outputs), and ``ungated_work`` is everything else — chargeable while
+  waiting.  When the window dwarfs the work this degenerates to comparing
+  gated work (the only part that serializes after the last arrival); when
+  the window is negligible it degenerates to the plain total-work
+  comparison.  A switch is proposed when the best candidate's exposed work
+  beats the running tree's by the configured threshold.
+
+Answers are never affected: plan switches are stitched up across phases and
+re-prioritization only reorders reads (the rate differential suite pins
+result multisets against the oracle).
+"""
+
+from __future__ import annotations
+
+from repro.engine.cost import CostModel
+from repro.optimizer.enumerator import JoinEnumerator
+from repro.optimizer.plans import JoinTree
+from repro.optimizer.statistics import SelectivityEstimator
+from repro.relational.catalog import DEFAULT_ASSUMED_CARDINALITY
+
+from repro.adaptivity.controller import (
+    AdaptationContext,
+    AdaptationRun,
+    ReprioritizeReadsAction,
+    SwitchPlanAction,
+)
+from repro.adaptivity.events import SourceRateEvent
+from repro.adaptivity.policies import AdaptationPolicy
+
+#: a promise is only judged once this many tuples *should* have arrived
+MIN_EXPECTED_TUPLES = 16
+
+#: cap on the estimated remaining-arrival window (keeps completion-time
+#: comparisons finite when the observed rate is ~0)
+MAX_REMAINING_SECONDS = 1.0e9
+
+#: estimated work units to assemble one cross-phase result row during
+#: stitch-up (probes into registered partitions plus materialization) —
+#: the price a mid-flight switch pays per output that can no longer be
+#: produced in-phase
+STITCH_UNITS_PER_OUTPUT = 4.0
+
+
+class SourceRatePolicy(AdaptationPolicy):
+    """Adapt the read schedule and the plan to collapsed source rates."""
+
+    name = "source_rate"
+
+    def __init__(
+        self,
+        catalog,
+        cost_model: CostModel | None = None,
+        collapse_fraction: float = 0.5,
+        switch_threshold: float = 0.8,
+        min_expected_tuples: int = MIN_EXPECTED_TUPLES,
+        bushy: bool = True,
+        default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
+    ) -> None:
+        """``collapse_fraction``: a source has *collapsed* when it delivered
+        less than this fraction of what its promised rate predicts for the
+        elapsed simulated time.  ``switch_threshold``: propose a plan switch
+        only when the best candidate's estimated *exposed work* (the module
+        docstring's completion-time residue) is below ``threshold *`` the
+        running tree's (mirrors the re-optimizer's knob, but over exposed
+        seconds instead of total work)."""
+        if not 0.0 < collapse_fraction <= 1.0:
+            raise ValueError("collapse_fraction must be in (0, 1]")
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.collapse_fraction = collapse_fraction
+        self.switch_threshold = switch_threshold
+        self.min_expected_tuples = min_expected_tuples
+        self.bushy = bushy
+        self.default_cardinality = default_cardinality
+
+    # -- telemetry ------------------------------------------------------------------
+
+    #: how many recent polls the windowed delivery-rate estimate spans
+    RATE_WINDOW_POLLS = 4
+
+    def observe(self, run: AdaptationRun, event) -> None:
+        if isinstance(event, SourceRateEvent):
+            state = run.scratch(self)
+            state.setdefault("telemetry", {})[event.relation] = event
+            history = state.setdefault("history", {}).setdefault(
+                event.relation, []
+            )
+            history.append((event.simulated_seconds, self._delivered(event)))
+            if len(history) > self.RATE_WINDOW_POLLS:
+                del history[0]
+
+    def _recent_rate(self, run: AdaptationRun, relation: str) -> float | None:
+        """Delivery rate over the last few polls (None when unmeasurable).
+
+        A collapsed source that *was* healthy keeps a high cumulative
+        average for a long time; the windowed rate is what exposes an
+        outage (and a recovery) promptly.
+        """
+        history = run.scratch(self).get("history", {}).get(relation, [])
+        if len(history) < 2:
+            return None
+        (t0, d0), (t1, d1) = history[0], history[-1]
+        if t1 <= t0:
+            return None
+        return max(d1 - d0, 0) / (t1 - t0)
+
+    def _promised_rate(self, relation: str) -> float | None:
+        if relation not in self.catalog:
+            return None
+        return self.catalog.statistics(relation).promised_rate
+
+    @staticmethod
+    def _delivered(event: SourceRateEvent) -> int:
+        """Tuples the source has delivered (consumption is a lower bound)."""
+        if event.arrived is not None:
+            return max(event.arrived, event.consumed)
+        return event.consumed
+
+    def _collapsed(self, event: SourceRateEvent) -> bool:
+        """Has this source fallen decisively behind its promised rate?"""
+        if event.exhausted:
+            return False
+        promised = event.promised_rate
+        if promised is None:
+            promised = self._promised_rate(event.relation)
+        if promised is None or promised <= 0:
+            return False
+        expected = promised * event.simulated_seconds
+        # A promise can only cover the data that exists: without the cap, a
+        # small source that delivered *everything* early would read as
+        # collapsed once enough simulated time passed (promised * elapsed
+        # grows without bound while delivery is complete).
+        if event.relation in self.catalog:
+            cardinality = self.catalog.statistics(event.relation).cardinality
+            if cardinality is not None:
+                expected = min(expected, float(cardinality))
+        if expected < self.min_expected_tuples:
+            return False
+        return self._delivered(event) < self.collapse_fraction * expected
+
+    # -- the decision ----------------------------------------------------------------
+
+    def decide(self, run: AdaptationRun, context: AdaptationContext):
+        state = run.scratch(self)
+        telemetry: dict[str, SourceRateEvent] = state.get("telemetry", {})
+        if not telemetry:
+            return None
+        collapsed = {
+            relation: event
+            for relation, event in telemetry.items()
+            if relation in context.query.relations and self._collapsed(event)
+        }
+        actions = []
+        priorities = {
+            relation: (1 if relation in collapsed else 0) for relation in telemetry
+        }
+        changed = {
+            relation: priority
+            for relation, priority in priorities.items()
+            if run.read_priorities.get(relation, 0) != priority
+        }
+        if changed:
+            actions.append(
+                ReprioritizeReadsAction(
+                    priorities,
+                    reason=(
+                        f"rate policy demoted {sorted(collapsed)} in the read "
+                        f"schedule" if collapsed else
+                        "rate policy restored recovered sources"
+                    ),
+                    policy=self.name,
+                )
+            )
+        if collapsed:
+            switch = self._propose_switch(run, context, collapsed)
+            if switch is not None:
+                actions.append(switch)
+        return actions or None
+
+    def _propose_switch(
+        self,
+        run: AdaptationRun,
+        context: AdaptationContext,
+        collapsed: dict[str, SourceRateEvent],
+    ) -> SwitchPlanAction | None:
+        query = context.query
+        if len(query.relations) < 2:
+            return None
+        estimator = SelectivityEstimator(
+            self.catalog, query, context.observed, self.default_cardinality
+        )
+        enumerator = JoinEnumerator(query, estimator, self.cost_model, self.bushy)
+
+        # The binding constraint is the source whose remaining data takes
+        # longest to arrive; gate the plan behind that one.
+        def remaining_seconds(relation: str) -> float:
+            event = collapsed[relation]
+            now = max(event.simulated_seconds, 1.0e-9)
+            delivered = self._delivered(event)
+            remaining = max(
+                estimator.base_cardinality(relation) - delivered, 0.0
+            )
+            rate = self._recent_rate(run, relation)
+            if rate is None:
+                rate = delivered / now
+            if rate <= 0:
+                window = MAX_REMAINING_SECONDS
+            else:
+                window = min(remaining / rate, MAX_REMAINING_SECONDS)
+            return max(window, event.stall_seconds)
+
+        acted = run.scratch(self).setdefault("acted", set())
+        eligible = {
+            relation: event
+            for relation, event in collapsed.items()
+            if relation not in acted
+        }
+        if not eligible:
+            return None
+        slow = max(
+            eligible, key=lambda relation: (remaining_seconds(relation), relation)
+        )
+        window = remaining_seconds(slow)
+
+        # The policy only ever proposes the tree that gates the collapsed
+        # source at the top — re-litigating the join order on cost grounds is
+        # the plan-switch policy's job, and mixing the two objectives invites
+        # oscillation (gate, then "cheap" un-gate, then gate again, each
+        # paying a stitch-up).
+        gating = self._gating_tree(query, enumerator, slow)
+        if gating is None:
+            return None
+        current_key = str(context.current_tree)
+        gating_key = str(gating)
+        if gating_key == current_key:
+            return None
+
+        spu = self.cost_model.seconds_per_unit
+
+        def exposed_seconds(tree: JoinTree, switching: bool) -> float:
+            gated, ungated = self._split_cost(
+                query, tree, estimator, slow, context.observed
+            )
+            exposed = max(ungated * spu - window, 0.0) + gated * spu
+            if switching:
+                # Switching strands the current phase's partitions: every
+                # result row combining old-phase with new-phase data must be
+                # assembled by stitch-up instead of in-phase.  Estimated as
+                # the cross-phase share of the final output (1 minus the
+                # product of unconsumed fractions) — this is what makes the
+                # policy *decline* to switch once too much is sunk.
+                fraction = 1.0
+                for name in query.relations:
+                    fraction *= self._remaining_fraction(
+                        estimator, context.observed, name
+                    )
+                cross_outputs = estimator.estimate_cardinality(
+                    frozenset(query.relations)
+                ) * (1.0 - fraction)
+                exposed += cross_outputs * STITCH_UNITS_PER_OUTPUT * spu
+            return exposed
+
+        scored = {
+            current_key: exposed_seconds(context.current_tree, switching=False),
+            gating_key: exposed_seconds(gating, switching=True),
+        }
+        if scored[current_key] <= 0.0:
+            return None
+        if scored[gating_key] >= self.switch_threshold * scored[current_key]:
+            return None
+        acted.add(slow)
+        event = collapsed[slow]
+        rate = self._delivered(event) / max(event.simulated_seconds, 1.0e-9)
+        promised = event.promised_rate or self._promised_rate(slow) or 0.0
+        return SwitchPlanAction(
+            tree=gating,
+            reason=(
+                f"source-rate policy: {slow} delivered {rate:.0f} tuples/s "
+                f"against a promise of {promised:.0f}; switching cuts exposed "
+                f"work from {scored[current_key]:.2f}s to "
+                f"{scored[gating_key]:.2f}s by gating joins behind its arrivals"
+            ),
+            improvement=max(
+                0.0, 1.0 - scored[gating_key] / max(scored[current_key], 1e-12)
+            ),
+            policy=self.name,
+        )
+
+    # -- completion-time model ---------------------------------------------------------
+
+    @staticmethod
+    def _remaining_fraction(
+        estimator: SelectivityEstimator, observed, name: str
+    ) -> float:
+        """Unconsumed fraction of one source (1.0 when nothing was read)."""
+        obs = observed.source(name) if observed is not None else None
+        read = obs.tuples_read if obs is not None else 0
+        base = estimator.base_cardinality(name)
+        return min(max(1.0 - read / max(base, 1.0), 0.0), 1.0)
+
+    @staticmethod
+    def _gating_tree(
+        query, enumerator: JoinEnumerator, relation: str
+    ) -> JoinTree | None:
+        """Best tree that joins ``relation`` last, on top of the cheapest
+        tree over the remaining relations (minimal work downstream of the
+        collapsed source)."""
+        rest = frozenset(query.relations) - {relation}
+        if not rest:
+            return None
+        if not query.predicates_between(rest, frozenset((relation,))):
+            return None
+        try:
+            below = enumerator.best_tree_for(rest)
+        except ValueError:
+            return None
+        return JoinTree.join(below, JoinTree.leaf(relation))
+
+    def _split_cost(
+        self,
+        query,
+        tree: JoinTree,
+        estimator: SelectivityEstimator,
+        relation: str,
+        observed,
+    ) -> tuple[float, float]:
+        """Split a tree's estimated *remaining* cost into (gated, ungated).
+
+        Gated work requires ``relation``'s tuples: reading them, pushing
+        them (and every intermediate containing them) through join nodes,
+        and materializing the outputs of nodes covering the relation.
+        Ungated work — other sources' reads, inserts and probes, and
+        intermediates not involving the relation — can proceed while the
+        collapsed source stalls.  Every contribution is scaled by the
+        *unconsumed fraction* of its driving relations (a mid-flight switch
+        only re-processes remaining data in-phase; cross-phase combinations
+        go to stitch-up, which both candidates pay comparably), so the model
+        compares what is still ahead, not the whole run.  Mirrors the
+        hash-join charges of
+        :class:`~repro.optimizer.cost_model.PlanCostModel` (merge-strategy
+        refinements are ignored here: a completion-time *comparison* only
+        needs the dominant terms).
+        """
+        model = self.cost_model
+
+        def remaining_fraction(name: str) -> float:
+            return self._remaining_fraction(estimator, observed, name)
+
+        gated = 0.0
+        ungated = 0.0
+
+        def visit(node: JoinTree) -> tuple[float, float]:
+            """Returns (estimated output cardinality, remaining fraction)."""
+            nonlocal gated, ungated
+            relations = node.relations()
+            if node.is_leaf:
+                base = estimator.base_cardinality(node.relation)
+                fraction = remaining_fraction(node.relation)
+                cost = base * fraction * (model.tuple_read + model.predicate_eval)
+                if node.relation == relation:
+                    gated += cost
+                else:
+                    ungated += cost
+                return estimator.estimate_cardinality(relations), fraction
+            left_card, left_fraction = visit(node.left)
+            right_card, right_fraction = visit(node.right)
+            per_input = model.hash_insert + model.hash_probe
+            left_cost = left_card * left_fraction * per_input
+            right_cost = right_card * right_fraction * per_input
+            if relation in node.left.relations():
+                gated += left_cost
+                ungated += right_cost
+            elif relation in node.right.relations():
+                gated += right_cost
+                ungated += left_cost
+            else:
+                ungated += left_cost + right_cost
+            card = estimator.estimate_cardinality(relations)
+            fraction = left_fraction * right_fraction
+            output_cost = card * fraction * model.tuple_copy
+            if relation in relations:
+                gated += output_cost
+            else:
+                ungated += output_cost
+            return card, fraction
+
+        output_card, output_fraction = visit(tree)
+        if query.aggregation is not None:
+            # Final answers need every source, so aggregation work is gated.
+            gated += output_card * output_fraction * model.aggregate_update * max(
+                len(query.aggregation.aggregates), 1
+            )
+        return gated, ungated
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "policy": self.name,
+            "collapse_fraction": self.collapse_fraction,
+            "switch_threshold": self.switch_threshold,
+        }

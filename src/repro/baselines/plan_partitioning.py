@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.adaptivity import AdaptationController
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
 from repro.engine.pipelined import PipelinedExecutor
 from repro.optimizer.enumerator import Optimizer
@@ -77,6 +78,7 @@ class PlanPartitioningExecutor:
         default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
         batch_size: int | None = None,
         engine_mode: str = "interpreted",
+        adaptation: AdaptationController | None = None,
     ) -> None:
         self.catalog = catalog
         self.sources = dict(sources)
@@ -85,6 +87,10 @@ class PlanPartitioningExecutor:
         self.default_cardinality = default_cardinality
         self.batch_size = batch_size
         self.engine_mode = engine_mode
+        # Like the static baseline, plan partitioning drives the shared
+        # adaptivity kernel for its run lifecycle and (one-shot) plan
+        # choices; the default controller has no policies and is inert.
+        self.adaptation = adaptation or AdaptationController()
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=True, default_cardinality=default_cardinality
         )
@@ -168,12 +174,15 @@ class PlanPartitioningExecutor:
         metrics = ExecutionMetrics()
         clock = SimulatedClock(self.cost_model)
         wall_start = time.perf_counter()
+        run = self.adaptation.begin(query, self.catalog, sources=self.sources)
 
         stage1_relations = self._stage1_relations(query)
         if len(stage1_relations) >= len(query.relations):
             # Materialization point falls at (or beyond) the end of the query:
             # plan partitioning degenerates to static execution.
-            tree = self.optimizer.optimize_tree(query)
+            tree = self.optimizer.optimize_tree(
+                query, ordering=run.current_ordering()
+            )
             executor = PipelinedExecutor(
                 self.sources,
                 self.cost_model,
@@ -191,7 +200,7 @@ class PlanPartitioningExecutor:
                 metrics=metrics,
                 simulated_seconds=clock.now,
                 wall_seconds=time.perf_counter() - wall_start,
-                details={"degenerate": True},
+                details={"degenerate": True, "adaptation": run.describe()},
             )
 
         # Stage 1: join the first few relations and materialize.
@@ -258,5 +267,6 @@ class PlanPartitioningExecutor:
             details={
                 "stage1_relations": stage1_relations,
                 "stage2_relations": stage2_query.relations,
+                "adaptation": run.describe(),
             },
         )

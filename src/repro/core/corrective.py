@@ -2,12 +2,20 @@
 
 The corrective query processor executes an SPJA query as a sequence of
 *phases*: it starts with the optimizer's initial plan, monitors execution,
-periodically re-optimizes with the statistics observed so far, and — when a
-substantially better plan is found — suspends the current plan at a
-consistent point, routes the remaining source data to the new plan, and
-finally runs a stitch-up phase that joins tuples across phases.  The final
-GROUP BY is shared by every phase and by stitch-up (Figure 1), so answers
-accumulate in one place regardless of how many plans contributed.
+periodically consults the adaptivity kernel, and — when a policy proposes a
+better configuration — suspends the current plan at a consistent point,
+routes the remaining source data to the new plan, and finally runs a
+stitch-up phase that joins tuples across phases.  The final GROUP BY is
+shared by every phase and by stitch-up (Figure 1), so answers accumulate in
+one place regardless of how many plans contributed.
+
+Since the adaptivity-kernel refactor this module owns only the *phase and
+stitch-up mechanics*: building phase plans, running chunks, accounting, and
+stitching up.  Every adaptation decision — cost-based plan switching,
+order-adaptive strategy selection, source-rate reactions — lives in
+:mod:`repro.adaptivity` policies consulted through one
+:class:`~repro.adaptivity.controller.AdaptationController`; registering a
+new policy requires no change here.
 """
 
 from __future__ import annotations
@@ -15,6 +23,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.adaptivity import (
+    AdaptationController,
+    JoinStrategyPolicy,
+    PlanSwitchPolicy,
+    SourceRatePolicy,
+)
 from repro.core.monitor import ExecutionMonitor
 from repro.core.phases import PhaseManager, PhaseRecord
 from repro.core.stitchup import StitchUpExecutor, StitchUpReport
@@ -24,13 +38,7 @@ from repro.engine.operators.aggregate import GroupAccumulator
 from repro.engine.pipelined import PipelinedPlan, SourceCursor
 from repro.engine.state.registry import StateRegistry
 from repro.optimizer.enumerator import Optimizer
-from repro.optimizer.ordering import (
-    OrderingKnowledge,
-    algorithms_of,
-    plan_join_strategies,
-)
 from repro.optimizer.plans import JoinTree
-from repro.optimizer.reoptimizer import ReOptimizer
 from repro.optimizer.statistics import ObservedStatistics
 from repro.relational.algebra import SPJAQuery
 from repro.relational.catalog import Catalog, DEFAULT_ASSUMED_CARDINALITY
@@ -53,6 +61,19 @@ class CorrectiveTick:
     tuples_processed: int
     next_arrival: float | None
     consumed: dict[str, int]
+
+    def __repr__(self) -> str:
+        consumed = ", ".join(
+            f"{relation}={count}" for relation, count in sorted(self.consumed.items())
+        )
+        arrival = (
+            "exhausted" if self.next_arrival is None
+            else f"next_arrival={self.next_arrival:.3f}s"
+        )
+        return (
+            f"CorrectiveTick(phase={self.phase_id}, "
+            f"ran={self.tuples_processed}, {arrival}, consumed[{consumed}])"
+        )
 
 
 @dataclass
@@ -120,6 +141,10 @@ class CorrectiveQueryProcessor:
         order_adaptive: bool = False,
         order_tolerance: float = 0.05,
         engine_mode: str = "interpreted",
+        rate_adaptive: bool = False,
+        rate_collapse_fraction: float = 0.5,
+        rate_switch_threshold: float = 0.8,
+        adaptation: AdaptationController | None = None,
     ) -> None:
         """Parameters mirror the paper's experimental knobs.
 
@@ -149,6 +174,15 @@ class CorrectiveQueryProcessor:
         interleave differently), which in principle can shift clock-driven
         poll timing; results are identical either way.
 
+        ``rate_adaptive=True`` adds the source-rate adaptation policy
+        (:class:`~repro.adaptivity.rate.SourceRatePolicy`): sources whose
+        observed delivery falls below ``rate_collapse_fraction`` of their
+        catalog ``promised_rate`` are demoted in the read schedule, and a
+        plan switch is proposed when gating work behind the collapsed
+        source's arrivals improves estimated completion time by
+        ``rate_switch_threshold``.  Opt-in; without catalog rate promises
+        the policy never acts.
+
         ``engine_mode="compiled"`` (opt-in, requires ``batch_size``) runs
         every phase through fused plan-specialized batch pipelines
         (:mod:`repro.engine.compiled`) instead of the generic operator code.
@@ -157,6 +191,10 @@ class CorrectiveQueryProcessor:
         including strategy-only hash↔merge switches — is recompiled when it
         is built, and the shared group-by / canonical-layout adaptation is
         fused into the generated sinks.
+
+        ``adaptation`` overrides the default policy stack entirely (expert
+        hook: the flags above are ignored for policy construction when an
+        explicit controller is supplied).
         """
         from repro.engine.compiled import ENGINE_MODES
 
@@ -181,17 +219,46 @@ class CorrectiveQueryProcessor:
         self.order_adaptive = order_adaptive
         self.order_tolerance = order_tolerance
         self.engine_mode = engine_mode
+        self.rate_adaptive = rate_adaptive
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=bushy, default_cardinality=default_cardinality
         )
-        self.reoptimizer = ReOptimizer(
-            catalog,
-            self.cost_model,
-            switch_threshold=switch_threshold,
-            bushy=bushy,
-            default_cardinality=default_cardinality,
-            order_adaptive=order_adaptive,
-        )
+        if adaptation is not None:
+            self.adaptation = adaptation
+        else:
+            policies = []
+            if order_adaptive:
+                policies.append(
+                    JoinStrategyPolicy(catalog, order_tolerance=order_tolerance)
+                )
+            if rate_adaptive:
+                policies.append(
+                    SourceRatePolicy(
+                        catalog,
+                        self.cost_model,
+                        collapse_fraction=rate_collapse_fraction,
+                        switch_threshold=rate_switch_threshold,
+                        bushy=bushy,
+                        default_cardinality=default_cardinality,
+                    )
+                )
+            policies.append(
+                PlanSwitchPolicy(
+                    catalog,
+                    self.cost_model,
+                    switch_threshold=switch_threshold,
+                    bushy=bushy,
+                    default_cardinality=default_cardinality,
+                    order_adaptive=order_adaptive,
+                )
+            )
+            self.adaptation = AdaptationController(policies)
+
+    @property
+    def reoptimizer(self):
+        """The plan-switch policy's re-optimizer (None without that policy)."""
+        policy = self.adaptation.policy(PlanSwitchPolicy.name)
+        return policy.reoptimizer if policy is not None else None
 
     # -- public API ------------------------------------------------------------------
 
@@ -274,37 +341,18 @@ class CorrectiveQueryProcessor:
             for name in query.relations
         }
 
-        if self.order_adaptive:
-            # Track arrival order of every join attribute at its cursor, and
-            # seed the catalog's ordering promises so the initial plan can
-            # already exploit them (detectors verify the promises as data
-            # flows; a lie surfaces at the next re-optimization poll).
-            for predicate in query.join_predicates:
-                for relation, attribute in (
-                    (predicate.left_relation, predicate.left_attr),
-                    (predicate.right_relation, predicate.right_attr),
-                ):
-                    cursors[relation].ensure_order_detector(
-                        attribute, tolerance=self.order_tolerance
-                    )
-            for relation in query.relations:
-                if relation in self.catalog:
-                    for attribute in self.catalog.statistics(relation).sorted_on:
-                        monitor.observed.record_promised_ordering(relation, attribute)
-
-        def gather_ordering() -> OrderingKnowledge | None:
-            if not self.order_adaptive:
-                return None
-            return OrderingKnowledge.gather(self.catalog, query, monitor.observed)
+        # Open the adaptation run: policies attach their instrumentation
+        # (order detectors, promised-ordering seeds, rate windows) here.
+        run = self.adaptation.begin(
+            query, self.catalog, monitor=monitor, cursors=cursors, sources=self.sources
+        )
 
         if initial_tree is not None:
             current_tree = initial_tree
-        elif self.order_adaptive:
-            current_tree = self.optimizer.optimize_tree(
-                query, ordering=gather_ordering()
-            )
         else:
-            current_tree = self.optimizer.optimize_tree(query)
+            current_tree = self.optimizer.optimize_tree(
+                query, ordering=run.current_ordering()
+            )
         phase_algorithms: list[dict[str, str]] = []
         peak_state_tuples = 0
 
@@ -360,12 +408,7 @@ class CorrectiveQueryProcessor:
 
         phase_id = 0
         while True:
-            ordering = gather_ordering()
-            current_strategies = (
-                plan_join_strategies(query, current_tree, ordering)
-                if ordering is not None
-                else None
-            )
+            current_strategies = run.phase_strategies(current_tree)
             plan = PipelinedPlan(
                 query,
                 current_tree,
@@ -379,6 +422,8 @@ class CorrectiveQueryProcessor:
                 join_strategies=current_strategies,
                 engine_mode=self.engine_mode,
             )
+            if run.read_priorities:
+                plan.read_priorities = dict(run.read_priorities)
             phase_algorithms.append(
                 {
                     " ⋈ ".join(sorted(relations)): algorithm
@@ -426,26 +471,18 @@ class CorrectiveQueryProcessor:
                         break
                 if plan.sources_exhausted:
                     break
-                observed = monitor.observe(plan, cursors)
-                decision = self.reoptimizer.evaluate(
-                    query,
-                    current_tree,
-                    observed,
+                monitor.observe(plan, cursors)
+                switch = run.poll(
+                    plan=plan,
+                    current_tree=current_tree,
                     current_strategies=current_strategies,
+                    phase_id=phase_id,
+                    now=clock.now,
+                    can_switch=phase_id + 1 < self.max_phases,
                 )
-                if decision.switch and phase_id + 1 < self.max_phases:
-                    if decision.same_tree and decision.strategies_changed:
-                        switch_reason = (
-                            f"re-optimizer switched join strategies to "
-                            f"{sorted(set(algorithms_of(decision.recommended_strategies).values()))} "
-                            f"(estimated {decision.improvement:.0%} cheaper)"
-                        )
-                    else:
-                        switch_reason = (
-                            f"re-optimizer found a plan estimated "
-                            f"{decision.improvement:.0%} cheaper"
-                        )
-                    current_tree = decision.recommended_tree
+                if switch is not None:
+                    switch_reason = switch.reason
+                    current_tree = switch.tree
                     break
                 if not progressed and not (
                     cooperative and plan.next_arrival() is not None
@@ -502,6 +539,7 @@ class CorrectiveQueryProcessor:
 
         wall_seconds = time.perf_counter() - wall_start
         own_wait_seconds += clock.wait_time - wait_mark
+        reoptimizer = self.reoptimizer
         return CorrectiveExecutionReport(
             query_name=query.name,
             rows=rows,
@@ -517,7 +555,7 @@ class CorrectiveQueryProcessor:
             simulated_seconds=clock.now - started_simulated,
             wall_seconds=wall_seconds,
             wait_seconds=own_wait_seconds,
-            reoptimizer_polls=self.reoptimizer.invocations,
+            reoptimizer_polls=reoptimizer.invocations if reoptimizer else 0,
             details={
                 "registry": registry.describe(),
                 "monitor_polls": monitor.poll_count(),
@@ -526,10 +564,13 @@ class CorrectiveQueryProcessor:
                 "observed_statistics": monitor.observed,
                 "seeded_statistics": seed_statistics is not None,
                 "order_adaptive": self.order_adaptive,
+                "rate_adaptive": self.rate_adaptive,
                 "engine_mode": self.engine_mode,
                 # Physical join algorithm per node, per phase (shows
                 # hash↔merge switches), and the peak resident join state.
                 "phase_join_algorithms": phase_algorithms,
                 "peak_state_tuples": peak_state_tuples,
+                # What the adaptivity kernel saw and did during this run.
+                "adaptation": run.describe(),
             },
         )

@@ -33,6 +33,16 @@ class PhaseRecord:
     def duration(self) -> float:
         return max(self.ended_at - self.started_at, 0.0)
 
+    def __repr__(self) -> str:
+        switched = (
+            f", switched: {self.switch_reason}" if self.switch_reason else ""
+        )
+        return (
+            f"PhaseRecord(phase={self.phase_id}, tree={self.join_tree}, "
+            f"[{self.started_at:.3f}s..{self.ended_at:.3f}s], "
+            f"read={self.tuples_read}, outputs={self.outputs}{switched})"
+        )
+
     def describe(self) -> str:
         consumed = ", ".join(
             f"{rel}={count}" for rel, count in sorted(self.consumed_per_relation.items())

@@ -63,6 +63,16 @@ class SourceCursor:
         self.name = name
         self.schema: Schema = source.schema
         self.prefetch = max(int(prefetch or self.DEFAULT_PREFETCH), 1)
+        #: rate telemetry for the adaptivity kernel: the provider's claimed
+        #: delivery rate (tuples/second, None when unpromised) and whether
+        #: the stream crosses a network (both read once at open time so the
+        #: hot read paths stay untouched)
+        self.promised_rate: float | None = getattr(source, "promised_rate", None)
+        self.is_remote: bool = getattr(source, "network", None) is not None
+        #: delivered-count oracle (``now -> tuples arrived``), when the
+        #: source can answer it (remote sources bisect their cached arrival
+        #: schedule); ``None`` for plain local relations
+        self.arrived_by = getattr(source, "arrived_by", None)
         self._chunks = self._open(source, self.prefetch)
         self._rows: Sequence[tuple] = ()
         self._arrivals: Sequence[float] | None = ()
@@ -458,6 +468,14 @@ class PipelinedPlan:
         self.output_sink = output_sink
         self.output_sink_batch = output_sink_batch
         self.output_count = 0
+        #: read-priority overrides (relation -> priority class, lower runs
+        #: first among equally *available* tuples).  Empty by default, in
+        #: which case every scheduling path below is byte-identical to the
+        #: priority-free behaviour; the source-rate adaptation policy demotes
+        #: collapsed sources here.  Availability still dominates: a demoted
+        #: source's arrived tuples are only deferred behind healthy sources'
+        #: arrived tuples, never skipped.
+        self.read_priorities: dict[str, int] = {}
         self.leaves: dict[str, LeafBinding] = {}
         self._leaf_pairs: list[tuple[LeafBinding, SourceCursor]] | None = None
         self.nodes: list[PipelinedJoinNode] = []
@@ -589,16 +607,22 @@ class PipelinedPlan:
 
         Preferring the earliest-arriving tuple is the data-availability-driven
         scheduling that masks bursty network delays; breaking ties by
-        consumption count keeps sources draining at similar rates.
+        consumption count keeps sources draining at similar rates.  When
+        :attr:`read_priorities` demotes a source, its priority class breaks
+        ties *before* the consumption count (availability still dominates).
         """
         best: SourceCursor | None = None
-        best_key: tuple[float, int] | None = None
+        best_key: tuple | None = None
+        priorities = self.read_priorities
         for relation in self.leaves:
             cursor = self.cursors[relation]
             arrival = cursor.peek_arrival()
             if arrival is None:
                 continue
-            key = (arrival, cursor.consumed)
+            if priorities:
+                key = (arrival, priorities.get(relation, 0), cursor.consumed)
+            else:
+                key = (arrival, cursor.consumed)
             if best_key is None or key < best_key:
                 best = cursor
                 best_key = key
@@ -730,6 +754,8 @@ class PipelinedPlan:
                 if last_arrival > group[2]:
                     group[2] = last_arrival
 
+        priorities = self.read_priorities
+
         # -- zero-arrival fast path --------------------------------------------
         while budget > 0:
             zero_pairs = []
@@ -743,6 +769,20 @@ class PipelinedPlan:
                     zero_pairs.append((binding, cursor))
             if not zero_pairs:
                 break
+            if priorities:
+                # Drain priority classes in order: the tuple-at-a-time rule
+                # (arrival, priority, consumed) never touches a demoted
+                # source while a healthier one has available data.  Rounds of
+                # the enclosing loop fall through to the next class once this
+                # one stops yielding.
+                top = min(
+                    priorities.get(binding.relation, 0) for binding, _ in zero_pairs
+                )
+                zero_pairs = [
+                    pair
+                    for pair in zero_pairs
+                    if priorities.get(pair[0].relation, 0) == top
+                ]
             quotas = self._zero_quotas(
                 [cursor.consumed for _, cursor in zero_pairs], budget
             )
@@ -761,14 +801,25 @@ class PipelinedPlan:
             return list(groups.values())
 
         # -- arrival-driven loop -----------------------------------------------
+        if priorities:
+            # Rank = (priority class, consumed): the lexicographic
+            # (arrival, rank) order below then matches the tuple-at-a-time
+            # rule (arrival, priority, consumed) exactly.
+            def rank(name: str, cursor: SourceCursor):
+                return (priorities.get(name, 0), cursor.consumed)
+        else:
+            def rank(name: str, cursor: SourceCursor):
+                return cursor.consumed
         entries = []
         for binding, cursor in pairs:
             arrival = cursor.peek_arrival()
             if arrival is not None:
-                entries.append([arrival, cursor.consumed, binding, cursor])
+                entries.append(
+                    [arrival, rank(binding.relation, cursor), binding, cursor]
+                )
         while budget > 0 and entries:
             best = entries[0]
-            second_key: tuple[float, int] | None = None
+            second_key: tuple | None = None
             for entry in entries[1:]:
                 if entry[0] < best[0] or (entry[0] == best[0] and entry[1] < best[1]):
                     second_key = (best[0], best[1])
@@ -795,7 +846,8 @@ class PipelinedPlan:
                     next_arrival = cursor.peek_arrival()
                     if next_arrival is None or (
                         second_key is not None
-                        and (next_arrival, cursor.consumed) >= second_key
+                        and (next_arrival, rank(binding.relation, cursor))
+                        >= second_key
                     ):
                         break
                     if horizon is not None and next_arrival > horizon:
@@ -809,7 +861,7 @@ class PipelinedPlan:
                 entries.remove(best)
             else:
                 best[0] = next_arrival
-                best[1] = cursor.consumed
+                best[1] = rank(binding.relation, cursor)
         return list(groups.values())
 
     def step_batch(
@@ -898,6 +950,16 @@ class PipelinedPlan:
             pairs = self._leaf_pairs = [
                 (binding, self.cursors[name]) for name, binding in self.leaves.items()
             ]
+
+        if self.read_priorities:
+            # Priority overrides (rate adaptivity) route through the generic
+            # scheduler, which implements the priority-aware rule once; the
+            # specialized all-immediate driver below deliberately mirrors
+            # only the priority-free zero phase.
+            groups = self._read_schedule(limit, horizon)
+            if not groups:
+                return 0
+            return self._run_compiled_groups(chains, groups)
 
         # Fast path precondition: every live source's next tuple is
         # immediately available.  (A source whose next arrival is in the

@@ -11,6 +11,7 @@ Regenerate any of the paper's tables/figures without going through pytest::
     python -m repro.experiments.cli serve-bench   # multi-query serving layer
     python -m repro.experiments.cli order-bench   # order-adaptive joins
     python -m repro.experiments.cli engine-bench  # tuple vs batched vs compiled
+    python -m repro.experiments.cli rate-bench    # source-rate adaptivity
     python -m repro.experiments.cli all           # every paper figure/table
 
 Use ``--scale`` to trade runtime for fidelity (default 0.003), ``--seed``
@@ -26,6 +27,11 @@ near-sorted / unordered / lying-promise source mixes and honours
 batch pipelines — identical results and simulated timings, lower wall-clock
 — and ``engine-bench`` measures all three engine modes against each other,
 verifying bit-identical accounting (``--bench-output BENCH_pr4.json``).
+``rate-bench`` compares plain corrective processing against
+``rate_adaptive=True`` over slow / bursty / flaky remote-source deliveries
+in both engine modes, verifies identical answers, and gates the >= 1.3x
+simulated-time speedup on the slow and bursty workloads
+(``--bench-output BENCH_pr5.json``).
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ from repro.experiments.corrective import (
 from repro.experiments.engine_bench import engine_bench_rows, run_engine_benchmark
 from repro.experiments.order_bench import order_bench_rows, run_order_benchmark
 from repro.experiments.preaggregation import run_preaggregation_comparison
+from repro.experiments.rate_bench import rate_bench_rows, run_rate_benchmark
 from repro.experiments.selectivity import run_selectivity_prediction
 from repro.experiments.serving_bench import (
     run_serving_benchmark,
@@ -206,6 +213,50 @@ def run_order_bench(
     print("sorted scenarios: merge strategy beat hash-only on time and state")
 
 
+def run_rate_bench(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    output: str | None = None,
+) -> None:
+    from repro.experiments.rate_bench import ENGINE_CONFIGS
+
+    # --batch-size overrides the batch size of both engine configurations.
+    engine_configs = ENGINE_CONFIGS
+    if batch_size is not None:
+        engine_configs = tuple(
+            (engine_mode, batch_size) for engine_mode, _ in ENGINE_CONFIGS
+        )
+    result = run_rate_benchmark(
+        scale_factor=scale, seed=seed, engine_configs=engine_configs
+    )
+    _print(
+        "Source-rate adaptivity — static vs rate-adaptive per delivery pathology",
+        format_table(rate_bench_rows(result)),
+    )
+    # Write the record before the verification gates: on a failure the JSON
+    # is the primary diagnostic.
+    if output is not None:
+        path = pathlib.Path(output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbenchmark record written to {path}")
+    if not result["all_verified"]:
+        raise SystemExit(
+            "rate-bench verification FAILED: rate-adaptive and static result "
+            "multisets differ"
+        )
+    print("adaptive-vs-static verification: all result multisets identical")
+    if not result["slow_bursty_speedup_ok"]:
+        raise SystemExit(
+            "rate-bench acceptance FAILED: rate adaptivity did not reach the "
+            "1.3x simulated-time speedup on the slow/bursty workloads"
+        )
+    print(
+        "slow/bursty workloads: rate adaptivity beat static execution by "
+        ">= 1.3x simulated time in both engine modes"
+    )
+
+
 def run_engine_bench(
     scale: float,
     seed: int,
@@ -271,7 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["serve-bench", "order-bench", "engine-bench", "all"],
+        choices=sorted(EXPERIMENTS)
+        + ["serve-bench", "order-bench", "engine-bench", "rate-bench", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -327,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--bench-output",
         default=None,
-        help="serve-bench / order-bench / engine-bench: write the JSON benchmark record to this path",
+        help="serve-bench / order-bench / engine-bench / rate-bench: write the JSON benchmark record to this path",
     )
     return parser
 
@@ -362,6 +414,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.experiment == "order-bench":
         run_order_bench(
+            args.scale,
+            args.seed,
+            args.batch_size,
+            output=args.bench_output,
+        )
+    elif args.experiment == "rate-bench":
+        run_rate_bench(
             args.scale,
             args.seed,
             args.batch_size,

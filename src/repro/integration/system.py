@@ -141,7 +141,12 @@ class AdaptiveIntegrationSystem:
         :mod:`repro.engine.compiled`).  The ``"corrective"`` strategy
         additionally accepts ``order_adaptive=True`` to detect source order
         at runtime and run / switch to streaming merge joins on
-        (near-)sorted inputs.
+        (near-)sorted inputs, and ``rate_adaptive=True`` to react to sources
+        whose delivery collapses below their catalog ``promised_rate``
+        (read-schedule demotion plus rate-aware plan switches — see
+        :mod:`repro.adaptivity.rate`).  All adaptation flows through each
+        executor's :class:`~repro.adaptivity.controller.AdaptationController`,
+        so new behaviours can be added by registering policies on it.
         """
         if strategy not in _STRATEGIES:
             raise UnknownStrategyError(
@@ -204,7 +209,8 @@ class AdaptiveIntegrationSystem:
         ``stats_cache`` to carry learned statistics across successive
         ``serve`` calls.  Remaining keyword ``options`` go to the server
         (``polling_interval_seconds``, ``switch_threshold``,
-        ``order_adaptive``, ``engine_mode``, …).
+        ``order_adaptive``, ``rate_adaptive``, ``engine_mode``,
+        ``session_policies``, …).
 
         Each query's result multiset is identical to what a solo
         ``execute(query, strategy="corrective")`` run would return; only the

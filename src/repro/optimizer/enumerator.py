@@ -62,6 +62,15 @@ class JoinEnumerator:
         """Memo entry (tree, cost, cardinality) for the full relation set."""
         return self._best(frozenset(self.query.relations))
 
+    def best_tree_for(self, relations) -> JoinTree:
+        """Cheapest join tree over a (connected) subset of the relations.
+
+        Raises ``ValueError`` when no connected tree exists for the subset.
+        Used by adaptation policies that constrain where one relation sits
+        (e.g. the source-rate policy gating a collapsed source at the top).
+        """
+        return self._best(frozenset(relations)).tree
+
     def strategies_for(self, tree: JoinTree) -> dict[frozenset, object] | None:
         """Order-adaptive strategy assignment for ``tree`` (None without knowledge)."""
         if self.ordering is None:

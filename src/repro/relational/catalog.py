@@ -39,6 +39,12 @@ class TableStatistics:
     #: predictor: how far a sorted stream has advanced through its domain
     #: estimates what fraction of the relation has been read.
     attribute_ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: delivery rate (tuples per second) the provider claims for this
+    #: source's connection.  The source-rate adaptation policy compares the
+    #: observed arrival rate against this promise to detect collapsed /
+    #: stalled sources; ``None`` (the default) means no promise was made and
+    #: rate adaptivity leaves the source alone.
+    promised_rate: float | None = None
 
     def with_cardinality(self, cardinality: int) -> "TableStatistics":
         return replace(self, cardinality=cardinality)

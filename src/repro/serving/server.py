@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.adaptivity import AdaptationController, SharedLearningPolicy
 from repro.core.corrective import CorrectiveExecutionReport, CorrectiveQueryProcessor
 from repro.engine.cost import CostModel, SimulatedClock
 from repro.optimizer.plans import JoinTree
@@ -154,6 +155,10 @@ class QueryServer:
         share_statistics: bool = True,
         order_adaptive: bool = False,
         engine_mode: str = "interpreted",
+        rate_adaptive: bool = False,
+        rate_collapse_fraction: float = 0.5,
+        rate_switch_threshold: float = 0.8,
+        session_policies: tuple = (),
     ) -> None:
         """``quantum_tuples`` is the scheduling granularity: how many source
         tuples one grant may process before control returns to the scheduler
@@ -163,12 +168,19 @@ class QueryServer:
         turns on order-adaptive join processing in every session; discovered
         orderings travel through the shared statistics cache, so an order
         learned while serving one query lets later queries start on merge
-        joins immediately.  ``engine_mode="compiled"`` (requires a
+        joins immediately.  ``rate_adaptive=True`` adds the source-rate
+        policy to every session (collapsed sources are demoted in the read
+        schedule and can trigger rate-aware plan switches — see
+        :class:`~repro.adaptivity.rate.SourceRatePolicy`).
+        ``engine_mode="compiled"`` (requires a
         ``batch_size``) runs every session's phases through the fused
         compiled batch pipelines; served answers, per-query simulated
         timings and phase counts are bit-identical to interpreted serving,
         and each session recompiles per phase exactly as in solo execution —
         incremental quanta suspend and resume compiled plans transparently.
+        ``session_policies`` are extra adaptation policies registered with
+        every session's controller — the serving-side extension point for
+        new adaptive behaviours (no server change needed to add one).
         The remaining knobs are forwarded to each session's
         :class:`CorrectiveQueryProcessor`.
         """
@@ -202,6 +214,16 @@ class QueryServer:
         self.share_statistics = share_statistics
         self.order_adaptive = order_adaptive
         self.engine_mode = engine_mode
+        self.rate_adaptive = rate_adaptive
+        self.rate_collapse_fraction = rate_collapse_fraction
+        self.rate_switch_threshold = rate_switch_threshold
+        self.session_policies = tuple(session_policies)
+        # Cross-query adaptation: the shared-learning policy owns every
+        # interaction with the statistics cache; the serving loop only talks
+        # to this controller (session_starting / session_finished).
+        self.adaptation = AdaptationController(
+            [SharedLearningPolicy(self.stats_cache, share_statistics=share_statistics)]
+        )
         self.clock = SimulatedClock(self.cost_model)
         self._sessions: list[QuerySession] = []
         self._turn = 0
@@ -245,7 +267,12 @@ class QueryServer:
             batch_size=self.batch_size,
             order_adaptive=self.order_adaptive,
             engine_mode=self.engine_mode,
+            rate_adaptive=self.rate_adaptive,
+            rate_collapse_fraction=self.rate_collapse_fraction,
+            rate_switch_threshold=self.rate_switch_threshold,
         )
+        for policy in self.session_policies:
+            processor.adaptation.register(policy)
         self._sessions.append(
             QuerySession(
                 index=index,
@@ -362,19 +389,12 @@ class QueryServer:
                 prime()
 
     def _activate(self, session: QuerySession) -> None:
-        seed = None
-        if self.share_statistics:
-            self.stats_cache.apply_cardinalities(self.catalog)
-            seed = self.stats_cache.seed_for(session.query)
+        seed = self.adaptation.session_starting(session.query, self.catalog)
         session.start(self.clock, seed_statistics=seed)
         if session.state is session.DONE:  # pragma: no cover - defensive
             session.finished_at = self.clock.now
             self._absorb(session)
 
     def _absorb(self, session: QuerySession) -> None:
-        """Fold a finished session's observations into the shared cache."""
-        observed = session.report.details.get("observed_statistics")
-        if observed is not None:
-            self.stats_cache.absorb(observed)
-            if self.share_statistics:
-                self.stats_cache.apply_cardinalities(self.catalog)
+        """Let the cross-query policies absorb a finished session's learning."""
+        self.adaptation.session_finished(session.report, self.catalog)

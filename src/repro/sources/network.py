@@ -11,7 +11,7 @@ wireless experiment is exactly reproducible.
 from __future__ import annotations
 
 import random
-from typing import Iterator
+from typing import Iterator, Sequence
 
 
 class NetworkModel:
@@ -43,6 +43,62 @@ class ConstantRateNetworkModel(NetworkModel):
         interval = 1.0 / self.tuples_per_second
         for index in range(tuple_count):
             yield self.latency + index * interval
+
+
+class PhasedRateNetworkModel(NetworkModel):
+    """Piecewise-constant delivery rates: collapses, outages and recoveries.
+
+    ``phases`` is a sequence of ``(duration_seconds, tuples_per_second)``
+    segments (rate ``0`` models a silent outage); once the phases are spent,
+    remaining tuples arrive at ``tail_rate``.  Fully deterministic with no
+    RNG, which makes it the workhorse of the source-rate adaptivity
+    benchmark: a "fast" promise with a slow first phase and a fast tail is a
+    collapsed-then-recovered source, a silent middle phase is a flaky one.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[tuple[float, float]],
+        tail_rate: float,
+        latency: float = 0.0,
+    ) -> None:
+        if tail_rate <= 0:
+            raise ValueError("tail_rate must be positive")
+        for duration, rate in phases:
+            if duration < 0:
+                raise ValueError("phase durations must be non-negative")
+            if rate < 0:
+                raise ValueError("phase rates must be non-negative (0 = outage)")
+        self.phases = tuple((float(d), float(r)) for d, r in phases)
+        self.tail_rate = tail_rate
+        self.latency = max(latency, 0.0)
+
+    def arrival_times(self, tuple_count: int) -> Iterator[float]:
+        now = self.latency
+        produced = 0
+        for duration, rate in self.phases:
+            end = now + duration
+            if rate > 0:
+                interval = 1.0 / rate
+                while produced < tuple_count and now < end:
+                    yield now
+                    now += interval
+                    produced += 1
+            now = max(now, end)
+        interval = 1.0 / self.tail_rate
+        while produced < tuple_count:
+            yield now
+            now += interval
+            produced += 1
+
+    def expected_transfer_seconds(self, tuple_count: int) -> float:
+        """Exact time at which the last of ``tuple_count`` tuples arrives."""
+        last = 0.0
+        for index, arrival in enumerate(self.arrival_times(tuple_count)):
+            if index >= tuple_count - 1:
+                return arrival
+            last = arrival
+        return last
 
 
 class BurstyNetworkModel(NetworkModel):

@@ -28,10 +28,17 @@ class RemoteSource(DataSource):
         relation: Relation,
         network: NetworkModel | None = None,
         name: str | None = None,
+        promised_rate: float | None = None,
     ) -> None:
+        """``promised_rate`` is the delivery rate (tuples/second) the
+        provider *claims* for this connection — telemetry for the
+        source-rate adaptation policy, which compares it against observed
+        arrivals.  It does not influence the actual arrival schedule (that
+        is the network model's job), so a promise can lie."""
         super().__init__(name or relation.name, relation.schema)
         self.relation = relation
         self.network = network or InstantNetworkModel()
+        self.promised_rate = promised_rate
         self._arrival_schedule: tuple[float, ...] | None = None
         #: number of streams opened over this source's lifetime.  Under
         #: multi-query serving one source object is shared by every query
@@ -51,6 +58,19 @@ class RemoteSource(DataSource):
     @property
     def schedule_materialized(self) -> bool:
         return self._arrival_schedule is not None
+
+    def arrived_by(self, now: float) -> int:
+        """How many tuples the link has delivered by simulated time ``now``.
+
+        This is what a real client observes in its receive buffer, and it is
+        the honest signal for rate adaptivity: a source whose tuples sit
+        unread behind other work has *delivered* them even though the cursor
+        has not consumed them yet (consumption lag is the engine's choice,
+        not the source's failure).
+        """
+        from bisect import bisect_right
+
+        return bisect_right(self.arrival_schedule, now)
 
     def prime(self) -> "RemoteSource":
         """Force-compute the arrival schedule; returns ``self``.
@@ -116,4 +136,6 @@ class RemoteSource(DataSource):
 
     def with_network(self, network: NetworkModel) -> "RemoteSource":
         """Return a copy of this source behind a different network model."""
-        return RemoteSource(self.relation, network, self.name)
+        return RemoteSource(
+            self.relation, network, self.name, promised_rate=self.promised_rate
+        )

@@ -41,7 +41,7 @@ from repro.core.corrective import CorrectiveQueryProcessor
 from repro.engine.pipelined import PipelinedExecutor
 from repro.optimizer.plans import JoinTree
 from repro.relational.algebra import AggregateSpec, SPJAQuery
-from repro.relational.catalog import Catalog
+from repro.relational.catalog import Catalog, TableStatistics
 from repro.relational.expressions import (
     Aggregate,
     AttributeRef,
@@ -51,7 +51,8 @@ from repro.relational.expressions import (
 )
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
-from repro.sources.network import BurstyNetworkModel
+from repro.serving.server import QueryServer
+from repro.sources.network import BurstyNetworkModel, PhasedRateNetworkModel
 from repro.sources.remote import RemoteSource
 
 #: Batch sizes every differential case is executed with (issue-mandated).
@@ -343,6 +344,115 @@ def _canonical_multiset(rows, schema_names, canonical_names) -> Counter:
 
 
 @dataclass
+class EngineObservables:
+    """Everything the engine-equivalence contracts pin for one run."""
+
+    multiset: Counter
+    metrics: dict[str, int]
+    simulated_seconds: float
+    phases: int
+
+
+def run_solo_corrective(
+    workload: DifferentialWorkload,
+    batch_size: int | None = None,
+    engine_mode: str = "interpreted",
+    catalog: Catalog | None = None,
+    sources: dict | None = None,
+    initial_tree: JoinTree | None = None,
+    polling_interval: float = POLLING_INTERVAL,
+    poll_step_limit: int = POLL_STEP_LIMIT,
+    **processor_options,
+):
+    """One solo corrective run of a differential workload.
+
+    The parameterized runner behind every solo differential column: engine
+    mode, batch size, and any extra processor options (``order_adaptive``,
+    ``rate_adaptive``, …) vary; the bad initial tree, polling cadence and
+    canonicalization are shared.  Returns ``(report, EngineObservables)``.
+    """
+    query = workload.query
+    report = CorrectiveQueryProcessor(
+        catalog if catalog is not None else workload.catalog(),
+        sources if sources is not None else workload.sources(),
+        polling_interval_seconds=polling_interval,
+        batch_size=batch_size,
+        engine_mode=engine_mode,
+        **processor_options,
+    ).execute(
+        query,
+        initial_tree=initial_tree if initial_tree is not None else _bad_initial_tree(workload),
+        poll_step_limit=poll_step_limit,
+    )
+    observables = EngineObservables(
+        multiset=_canonical_multiset(
+            report.rows, report.schema.names, _canonical_names(workload)
+        ),
+        metrics=report.metrics.as_dict(),
+        simulated_seconds=report.simulated_seconds,
+        phases=report.num_phases,
+    )
+    return report, observables
+
+
+def run_served_workloads(
+    workloads: list[DifferentialWorkload],
+    policy: str,
+    batch_size: int | None = None,
+    engine_mode: str = "interpreted",
+    **server_options,
+):
+    """One serving run over prefix-namespaced differential workloads.
+
+    The parameterized runner behind every served differential column: all
+    workloads are admitted at time zero to one :class:`QueryServer` (shared
+    catalog / source pool), each forced to start from its deliberately bad
+    join order.  Returns ``(ServingReport, [EngineObservables])`` with one
+    observables entry per workload, in admission order.
+    """
+    catalog = Catalog()
+    sources: dict[str, object] = {}
+    for workload in workloads:
+        for name, relation in workload.relations.items():
+            catalog.register(name, relation.schema)
+        sources.update(workload.sources())
+    server = QueryServer(
+        catalog,
+        sources,
+        policy=policy,
+        batch_size=batch_size,
+        quantum_tuples=POLL_STEP_LIMIT,
+        polling_interval_seconds=POLLING_INTERVAL,
+        engine_mode=engine_mode,
+        **server_options,
+    )
+    for workload in workloads:
+        server.submit(
+            workload.query,
+            initial_tree=_bad_initial_tree(workload),
+            label=workload.query.name,
+        )
+    report = server.run()
+    assert len(report.served) == len(workloads)
+    observables = []
+    for served, workload in zip(report.served, workloads):
+        assert served.query_name == workload.query.name
+        observables.append(
+            EngineObservables(
+                multiset=_canonical_multiset(
+                    served.rows,
+                    served.report.schema.names,
+                    _canonical_names(workload),
+                ),
+                metrics=served.report.metrics.as_dict(),
+                simulated_seconds=served.report.simulated_seconds,
+                phases=served.phases,
+            )
+        )
+    return report, observables
+
+
+@dataclass
 class DifferentialResult:
     """Everything a differential case produced, for assertions and reports."""
 
@@ -414,17 +524,15 @@ def run_differential_case(seed: int) -> DifferentialResult:
         for batch_size in COMPILED_BATCH_SIZES
     ]
     for label, batch_size, engine_mode in corrective_columns:
-        report = CorrectiveQueryProcessor(
-            catalog,
-            workload.sources(),
-            polling_interval_seconds=POLLING_INTERVAL,
+        _, observables = run_solo_corrective(
+            workload,
             batch_size=batch_size,
             engine_mode=engine_mode,
-        ).execute(query, initial_tree=bad_tree, poll_step_limit=POLL_STEP_LIMIT)
-        result.row_multisets[label] = _canonical_multiset(
-            report.rows, report.schema.names, canonical_names
+            catalog=catalog,
+            initial_tree=bad_tree,
         )
-        result.phase_counts[label] = report.num_phases
+        result.row_multisets[label] = observables.multiset
+        result.phase_counts[label] = observables.phases
 
     return result
 
@@ -464,75 +572,33 @@ def run_serving_differential_case(
     clocks and cross-query statistics seeding may change plans and timing
     but never answers.
     """
-    from repro.core.corrective import CorrectiveQueryProcessor
-    from repro.serving.server import QueryServer
-
     workloads = [
         generate_workload(seed, name_prefix=f"w{index}_")
         for index, seed in enumerate(seeds)
     ]
-    catalog = Catalog()
-    sources: dict[str, object] = {}
-    for workload in workloads:
-        for name, relation in workload.relations.items():
-            catalog.register(name, relation.schema)
-        sources.update(workload.sources())
 
     expectations = []
     solo_phase_counts = []
     for workload in workloads:
         query = workload.query
-        canonical_names = _canonical_names(workload)
         reference = Counter(reference_spja(query, workload.relations))
-        solo_report = CorrectiveQueryProcessor(
-            workload.catalog(),
-            workload.sources(),
-            polling_interval_seconds=POLLING_INTERVAL,
-            batch_size=batch_size,
-        ).execute(
-            query,
-            initial_tree=_bad_initial_tree(workload),
-            poll_step_limit=POLL_STEP_LIMIT,
-        )
-        solo = _canonical_multiset(
-            solo_report.rows, solo_report.schema.names, canonical_names
-        )
-        assert solo == reference, (
+        _, solo = run_solo_corrective(workload, batch_size=batch_size)
+        assert solo.multiset == reference, (
             f"solo corrective run disagrees with the reference oracle on "
             f"query {query.name} (seed {workload.seed})"
         )
-        solo_phase_counts.append(solo_report.num_phases)
-        expectations.append((workload, canonical_names, reference))
+        solo_phase_counts.append(solo.phases)
+        expectations.append((workload, reference))
 
-    server = QueryServer(
-        catalog,
-        sources,
-        policy=policy,
-        batch_size=batch_size,
-        quantum_tuples=POLL_STEP_LIMIT,
-        polling_interval_seconds=POLLING_INTERVAL,
+    report, served_observables = run_served_workloads(
+        workloads, policy, batch_size=batch_size
     )
-    for workload in workloads:
-        server.submit(
-            workload.query,
-            initial_tree=_bad_initial_tree(workload),
-            label=workload.query.name,
-        )
-    report = server.run()
-    assert len(report.served) == len(workloads)
-
     served_phase_counts = []
-    for served, (workload, canonical_names, reference) in zip(
-        report.served, expectations
-    ):
-        assert served.query_name == workload.query.name
-        served_multiset = _canonical_multiset(
-            served.rows, served.report.schema.names, canonical_names
-        )
-        assert served_multiset == reference, (
+    for served, (workload, reference) in zip(served_observables, expectations):
+        assert served.multiset == reference, (
             f"policy {policy!r} (batch_size={batch_size}): served query "
-            f"{served.label!r} disagrees with its solo/reference result on "
-            f"seed {workload.seed}; query:\n{workload.query.describe()}"
+            f"{workload.query.name!r} disagrees with its solo/reference "
+            f"result on seed {workload.seed}; query:\n{workload.query.describe()}"
         )
         served_phase_counts.append(served.phases)
     return ServingDifferentialResult(
@@ -544,16 +610,6 @@ def run_serving_differential_case(
         solo_phase_counts=solo_phase_counts,
         served_phase_counts=served_phase_counts,
     )
-
-
-@dataclass
-class EngineObservables:
-    """Everything the compiled-equivalence contract pins for one run."""
-
-    multiset: Counter
-    metrics: dict[str, int]
-    simulated_seconds: float
-    phases: int
 
 
 @dataclass
@@ -581,24 +637,10 @@ def run_compiled_differential_case(
     """
     workload = generate_workload(seed)
     query = workload.query
-    canonical_names = _canonical_names(workload)
-    bad_tree = _bad_initial_tree(workload)
     observed = {}
     for engine_mode in ("interpreted", "compiled"):
-        report = CorrectiveQueryProcessor(
-            workload.catalog(),
-            workload.sources(),
-            polling_interval_seconds=POLLING_INTERVAL,
-            batch_size=batch_size,
-            engine_mode=engine_mode,
-        ).execute(query, initial_tree=bad_tree, poll_step_limit=POLL_STEP_LIMIT)
-        observed[engine_mode] = EngineObservables(
-            multiset=_canonical_multiset(
-                report.rows, report.schema.names, canonical_names
-            ),
-            metrics=report.metrics.as_dict(),
-            simulated_seconds=report.simulated_seconds,
-            phases=report.num_phases,
+        _, observed[engine_mode] = run_solo_corrective(
+            workload, batch_size=batch_size, engine_mode=engine_mode
         )
     return CompiledDifferentialResult(
         seed=seed,
@@ -661,8 +703,6 @@ def run_compiled_serving_differential_case(
     served query must report identical answers, counters, simulated timings
     and phase counts — the whole serving run is replayed exactly.
     """
-    from repro.serving.server import QueryServer
-
     workloads = [
         generate_workload(seed, name_prefix=f"w{index}_")
         for index, seed in enumerate(seeds)
@@ -675,45 +715,9 @@ def run_compiled_serving_differential_case(
     observed: dict[str, list[EngineObservables]] = {}
     makespans: dict[str, float] = {}
     for engine_mode in ("interpreted", "compiled"):
-        catalog = Catalog()
-        sources: dict[str, object] = {}
-        for workload in workloads:
-            for name, relation in workload.relations.items():
-                catalog.register(name, relation.schema)
-            sources.update(workload.sources())
-        server = QueryServer(
-            catalog,
-            sources,
-            policy=policy,
-            batch_size=batch_size,
-            quantum_tuples=POLL_STEP_LIMIT,
-            polling_interval_seconds=POLLING_INTERVAL,
-            engine_mode=engine_mode,
+        report, observed[engine_mode] = run_served_workloads(
+            workloads, policy, batch_size=batch_size, engine_mode=engine_mode
         )
-        for workload in workloads:
-            server.submit(
-                workload.query,
-                initial_tree=_bad_initial_tree(workload),
-                label=workload.query.name,
-            )
-        report = server.run()
-        assert len(report.served) == len(workloads)
-        rows = []
-        for served, workload in zip(report.served, workloads):
-            assert served.query_name == workload.query.name
-            rows.append(
-                EngineObservables(
-                    multiset=_canonical_multiset(
-                        served.rows,
-                        served.report.schema.names,
-                        _canonical_names(workload),
-                    ),
-                    metrics=served.report.metrics.as_dict(),
-                    simulated_seconds=served.report.simulated_seconds,
-                    phases=served.phases,
-                )
-            )
-        observed[engine_mode] = rows
         makespans[engine_mode] = report.makespan
     return CompiledServingDifferentialResult(
         seeds=tuple(seeds),
@@ -758,6 +762,100 @@ def assert_compiled_serving_differential_case(
     assert result.compiled_makespan == result.interpreted_makespan, (
         f"policy {result.policy!r}: serving makespans diverge "
         f"({result.compiled_makespan!r} vs {result.interpreted_makespan!r})"
+    )
+
+
+def rate_collapse_setup(
+    workload: DifferentialWorkload, promised_rate: float = 4000.0
+) -> tuple[Catalog, dict[str, object]]:
+    """Every source behind a rate-promising link that collapses then recovers.
+
+    The catalog carries each source's ``promised_rate`` and the network
+    delivers a 2% trickle before recovering at full rate, so the
+    source-rate policy's collapse detector fires on most seeds — the rate
+    differential suite then pins that whatever it does (read demotions,
+    rate-aware plan switches) never changes answers.
+    """
+    catalog = Catalog()
+    sources: dict[str, object] = {}
+    for index, (name, relation) in enumerate(workload.relations.items()):
+        network = PhasedRateNetworkModel(
+            [(0.004 + 0.002 * index, 0.02 * promised_rate)],
+            tail_rate=promised_rate,
+            latency=0.0005,
+        )
+        sources[name] = RemoteSource(
+            relation, network, promised_rate=promised_rate
+        )
+        catalog.register(
+            name, relation.schema, TableStatistics(promised_rate=promised_rate)
+        )
+    return catalog, sources
+
+
+@dataclass
+class RateDifferentialResult:
+    """Static-vs-rate-adaptive observables for one collapsed-source workload."""
+
+    seed: int
+    workload: DifferentialWorkload
+    reference: Counter
+    static: EngineObservables
+    adaptive: EngineObservables
+    rate_switches: int
+    reprioritizations: int
+
+
+def run_rate_differential_case(
+    seed: int, batch_size: int | None = 64
+) -> RateDifferentialResult:
+    """Run one workload over collapsing sources with and without rate adaptivity.
+
+    Both runs start from the same deliberately bad plan; the adaptive run's
+    result multiset must match the static run and the reference oracle no
+    matter what the source-rate policy decided to do.
+    """
+    workload = generate_workload(seed)
+    observed = {}
+    details = {}
+    for rate_adaptive in (False, True):
+        catalog, sources = rate_collapse_setup(workload)
+        report, observables = run_solo_corrective(
+            workload,
+            batch_size=batch_size,
+            catalog=catalog,
+            sources=sources,
+            rate_adaptive=rate_adaptive,
+        )
+        observed[rate_adaptive] = observables
+        details[rate_adaptive] = report.details.get("adaptation", {})
+    switches = [
+        switch
+        for switch in details[True].get("switches", [])
+        if switch["policy"] == "source_rate"
+    ]
+    return RateDifferentialResult(
+        seed=seed,
+        workload=workload,
+        reference=Counter(reference_spja(workload.query, workload.relations)),
+        static=observed[False],
+        adaptive=observed[True],
+        rate_switches=len(switches),
+        reprioritizations=details[True].get("reprioritizations", 0),
+    )
+
+
+def assert_rate_differential_case(result: RateDifferentialResult) -> None:
+    """Assert the answers-never-change contract for one rate case."""
+    name = result.workload.query.name
+    assert result.static.multiset == result.reference, (
+        f"seed {result.seed}: static run over collapsing sources disagrees "
+        f"with the reference oracle on {name}"
+    )
+    assert result.adaptive.multiset == result.reference, (
+        f"seed {result.seed}: rate-adaptive run disagrees with the reference "
+        f"oracle on {name} (switches={result.rate_switches}, "
+        f"reprioritizations={result.reprioritizations})"
     )
 
 
