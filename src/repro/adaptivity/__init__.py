@@ -24,6 +24,7 @@ from repro.adaptivity.controller import (
     AdaptationContext,
     AdaptationController,
     AdaptationRun,
+    FailoverSourceAction,
     ReprioritizeReadsAction,
     SwitchPlanAction,
 )
@@ -40,7 +41,8 @@ from repro.adaptivity.policies import (
     PlanSwitchPolicy,
     SharedLearningPolicy,
 )
-from repro.adaptivity.rate import SourceRatePolicy
+from repro.adaptivity.failover import MirrorFailoverPolicy
+from repro.adaptivity.rate import RateOutlookPolicy, SourceRatePolicy
 
 __all__ = [
     "AdaptationAction",
@@ -49,9 +51,12 @@ __all__ = [
     "AdaptationEvent",
     "AdaptationPolicy",
     "AdaptationRun",
+    "FailoverSourceAction",
     "JoinStrategyPolicy",
+    "MirrorFailoverPolicy",
     "OrderingObservedEvent",
     "PlanSwitchPolicy",
+    "RateOutlookPolicy",
     "ReprioritizeReadsAction",
     "SelectivityDriftEvent",
     "SharedLearningPolicy",

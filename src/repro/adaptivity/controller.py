@@ -112,6 +112,38 @@ class ReprioritizeReadsAction(AdaptationAction):
         )
 
 
+class FailoverSourceAction(AdaptationAction):
+    """Re-point one relation's cursor at a mirror's resumed stream.
+
+    ``resumed`` is a stream provider for the *remainder* of the relation
+    (``RemoteSource.reopen_from``): the same rows the dead primary would
+    have delivered from the cursor's consumed offset, on the mirror's
+    arrival schedule.  The cursor object itself survives — the running plan
+    never learns the source changed — so answers are bit-identical by
+    construction; only arrival times (and therefore completion time) move.
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        resumed,
+        reason: str,
+        mirror_name: str = "",
+        policy: str = "",
+    ) -> None:
+        self.relation = relation
+        self.resumed = resumed
+        self.reason = reason
+        self.mirror_name = mirror_name
+        self.policy = policy
+
+    def __repr__(self) -> str:
+        return (
+            f"FailoverSourceAction({self.relation!r} -> {self.mirror_name!r}, "
+            f"policy={self.policy!r}, reason={self.reason!r})"
+        )
+
+
 class AdaptationRun:
     """Per-execution adaptation state: one query's trip through the kernel."""
 
@@ -135,6 +167,7 @@ class AdaptationRun:
         self.read_priorities: dict[str, int] = {}
         self.event_counts: Counter = Counter()
         self.switches: list[SwitchPlanAction] = []
+        self.failovers: list[FailoverSourceAction] = []
         self.reprioritizations: int = 0
         self._scratch: dict[int, dict] = {}
         for policy in controller.policies:
@@ -162,6 +195,18 @@ class AdaptationRun:
             strategies = policy.phase_strategies(self, tree)
             if strategies is not None:
                 return strategies
+        return None
+
+    def current_rate_outlook(self) -> dict | None:
+        """Known-slow-source arrival windows for initial plan choice.
+
+        ``None`` unless a policy supplies one (the serving layer's
+        rate-outlook policy, fed by cached cross-query rate telemetry).
+        """
+        for policy in self.controller.policies:
+            outlook = policy.rate_outlook(self)
+            if outlook is not None:
+                return outlook
         return None
 
     # -- the decide loop -----------------------------------------------------------
@@ -208,6 +253,10 @@ class AdaptationRun:
             for action in proposed:
                 if isinstance(action, ReprioritizeReadsAction):
                     self._apply_priorities(action, plan)
+                elif isinstance(action, FailoverSourceAction):
+                    if not action.policy:
+                        action.policy = policy.name
+                    self._apply_failover(action)
                 elif isinstance(action, SwitchPlanAction):
                     if not action.policy:
                         action.policy = policy.name
@@ -235,6 +284,13 @@ class AdaptationRun:
         if plan is not None and hasattr(plan, "read_priorities"):
             plan.read_priorities = dict(self.read_priorities)
 
+    def _apply_failover(self, action: FailoverSourceAction) -> None:
+        cursor = self.cursors.get(action.relation)
+        if cursor is None or not hasattr(cursor, "failover_to"):
+            return
+        cursor.failover_to(action.resumed)
+        self.failovers.append(action)
+
     # -- reporting -------------------------------------------------------------------
 
     def describe(self) -> dict[str, object]:
@@ -247,6 +303,15 @@ class AdaptationRun:
             ],
             "reprioritizations": self.reprioritizations,
             "read_priorities": dict(self.read_priorities),
+            "failovers": [
+                {
+                    "relation": action.relation,
+                    "mirror": action.mirror_name,
+                    "policy": action.policy,
+                    "reason": action.reason,
+                }
+                for action in self.failovers
+            ],
         }
 
 

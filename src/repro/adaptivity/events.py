@@ -103,9 +103,19 @@ class SourceRateEvent(AdaptationEvent):
 
     @property
     def stall_seconds(self) -> float:
-        """How far in the future the next pending tuple arrives (0 if ready)."""
+        """How far in the future the next pending tuple arrives (0 if ready).
+
+        ``next_arrival is None`` is ambiguous on its own: an *exhausted*
+        stream stalls nothing (0.0), but a live stream that cannot schedule
+        its next arrival — e.g. a primary mid-outage before a mirror
+        failover re-establishes a schedule — is an unbounded stall, and
+        flooring it at 0 would tell the rate policy that exactly the stalled
+        source it should guard is instantly ready.  The non-exhausted
+        no-arrival case is therefore conservative (``inf``); consumers cap
+        it with their own remaining-window bound.
+        """
         if self.next_arrival is None:
-            return 0.0
+            return 0.0 if self.exhausted else float("inf")
         return max(self.next_arrival - self.simulated_seconds, 0.0)
 
     def __repr__(self) -> str:

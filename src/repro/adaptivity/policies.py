@@ -18,7 +18,9 @@ the full hook surface; a policy implements only what it needs:
 ``session_starting`` / ``session_finished``
     Cross-query hooks driven by the serving layer.
 
-**Policy-author checklist** (also in the README): pick a unique ``name``;
+**Policy-author checklist** (expanded, with the failover and serving-side
+admission/plan-seeding hooks, in ``src/repro/adaptivity/README.md``): pick a
+unique ``name``;
 keep per-run state in ``run.scratch(self)`` (policy instances outlive runs);
 derive everything from events / ``AdaptationContext`` (never from engine
 internals); make ``decide`` deterministic — ties in the controller are
@@ -72,6 +74,17 @@ class AdaptationPolicy:
 
     def phase_strategies(self, run: AdaptationRun, tree) -> dict | None:
         """Physical strategy assignment for a phase (``None`` = no opinion)."""
+        return None
+
+    def rate_outlook(self, run: AdaptationRun) -> dict | None:
+        """Known-slow-source arrival windows for initial plan choice.
+
+        ``None`` = no opinion.  A non-``None`` map (relation name →
+        estimated remaining arrival window in simulated seconds) is passed
+        to the optimizer's rate-aware tree comparison so repeat queries over
+        a known-slow source start gated (see
+        :func:`repro.optimizer.exposure.choose_rate_aware_tree`).
+        """
         return None
 
     def session_starting(self, query, catalog):

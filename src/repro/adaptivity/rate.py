@@ -47,6 +47,12 @@ from __future__ import annotations
 
 from repro.engine.cost import CostModel
 from repro.optimizer.enumerator import JoinEnumerator
+from repro.optimizer.exposure import (
+    MAX_REMAINING_SECONDS,
+    gating_tree,
+    remaining_fraction,
+    split_remaining_cost,
+)
 from repro.optimizer.plans import JoinTree
 from repro.optimizer.statistics import SelectivityEstimator
 from repro.relational.catalog import DEFAULT_ASSUMED_CARDINALITY
@@ -62,10 +68,6 @@ from repro.adaptivity.policies import AdaptationPolicy
 
 #: a promise is only judged once this many tuples *should* have arrived
 MIN_EXPECTED_TUPLES = 16
-
-#: cap on the estimated remaining-arrival window (keeps completion-time
-#: comparisons finite when the observed rate is ~0)
-MAX_REMAINING_SECONDS = 1.0e9
 
 #: estimated work units to assemble one cross-phase result row during
 #: stitch-up (probes into registered partitions plus materialization) —
@@ -118,9 +120,42 @@ class SourceRatePolicy(AdaptationPolicy):
             history = state.setdefault("history", {}).setdefault(
                 event.relation, []
             )
+            if not history:
+                seeded = self._seed_history_sample(run, event)
+                if seeded is not None:
+                    history.append(seeded)
             history.append((event.simulated_seconds, self._delivered(event)))
             if len(history) > self.RATE_WINDOW_POLLS:
                 del history[0]
+
+    def _seed_history_sample(
+        self, run: AdaptationRun, event: SourceRateEvent
+    ) -> tuple[float, int] | None:
+        """Backfill one pre-poll sample so the windowed rate engages at poll 1.
+
+        With fewer than two samples the windowed estimate is unmeasurable
+        and the remaining-window estimate falls back to the *cumulative*
+        rate ``delivered / now`` — which averages a collapsed source's
+        healthy opening burst into its post-collapse trickle, over-stating
+        delivery and delaying the switch by a poll.  When the cursor can
+        replay its delivered count at an earlier instant (remote sources
+        bisect their cached arrival schedule) the window is seeded with a
+        recent synthetic sample instead, one ``RATE_WINDOW_POLLS``-th of the
+        elapsed time back.
+        """
+        now = event.simulated_seconds
+        if now <= 0.0:
+            return None
+        cursor = run.cursors.get(event.relation)
+        oracle = getattr(cursor, "arrived_by", None)
+        if oracle is None:
+            return None
+        t_prev = now * (1.0 - 1.0 / self.RATE_WINDOW_POLLS)
+        if not t_prev < now:
+            return None
+        # Clamp at the current delivered count so history stays non-decreasing
+        # even when consumption (a lower bound the oracle cannot see) leads.
+        return (t_prev, min(oracle(t_prev), self._delivered(event)))
 
     def _recent_rate(self, run: AdaptationRun, relation: str) -> float | None:
         """Delivery rate over the last few polls (None when unmeasurable).
@@ -184,8 +219,14 @@ class SourceRatePolicy(AdaptationPolicy):
             if relation in context.query.relations and self._collapsed(event)
         }
         actions = []
+        # Only this query's relations belong in the priority map: telemetry
+        # can cover foreign relations (shared monitors under serving pools),
+        # and leaking them into ReprioritizeReadsAction.priorities would
+        # inflate reprioritization counts with entries no read schedule uses.
         priorities = {
-            relation: (1 if relation in collapsed else 0) for relation in telemetry
+            relation: (1 if relation in collapsed else 0)
+            for relation in telemetry
+            if relation in context.query.relations
         }
         changed = {
             relation: priority
@@ -240,7 +281,9 @@ class SourceRatePolicy(AdaptationPolicy):
                 window = MAX_REMAINING_SECONDS
             else:
                 window = min(remaining / rate, MAX_REMAINING_SECONDS)
-            return max(window, event.stall_seconds)
+            # stall_seconds is conservative (``inf``) for a live stream with
+            # no scheduled arrival; keep the comparison finite.
+            return min(max(window, event.stall_seconds), MAX_REMAINING_SECONDS)
 
         acted = run.scratch(self).setdefault("acted", set())
         eligible = {
@@ -320,34 +363,26 @@ class SourceRatePolicy(AdaptationPolicy):
         )
 
     # -- completion-time model ---------------------------------------------------------
+    #
+    # The model itself (gated/ungated split, gating-tree construction) lives
+    # in :mod:`repro.optimizer.exposure` so the optimizer's rate-aware
+    # *initial* plan choice and this policy's mid-flight re-scoring share one
+    # implementation; these thin wrappers keep the policy's historical
+    # surface (unit tests pin the split's accounting through them).
 
     @staticmethod
     def _remaining_fraction(
         estimator: SelectivityEstimator, observed, name: str
     ) -> float:
         """Unconsumed fraction of one source (1.0 when nothing was read)."""
-        obs = observed.source(name) if observed is not None else None
-        read = obs.tuples_read if obs is not None else 0
-        base = estimator.base_cardinality(name)
-        return min(max(1.0 - read / max(base, 1.0), 0.0), 1.0)
+        return remaining_fraction(estimator, observed, name)
 
     @staticmethod
     def _gating_tree(
         query, enumerator: JoinEnumerator, relation: str
     ) -> JoinTree | None:
-        """Best tree that joins ``relation`` last, on top of the cheapest
-        tree over the remaining relations (minimal work downstream of the
-        collapsed source)."""
-        rest = frozenset(query.relations) - {relation}
-        if not rest:
-            return None
-        if not query.predicates_between(rest, frozenset((relation,))):
-            return None
-        try:
-            below = enumerator.best_tree_for(rest)
-        except ValueError:
-            return None
-        return JoinTree.join(below, JoinTree.leaf(relation))
+        """Best tree that joins ``relation`` last (see exposure.gating_tree)."""
+        return gating_tree(query, enumerator, relation)
 
     def _split_cost(
         self,
@@ -357,77 +392,49 @@ class SourceRatePolicy(AdaptationPolicy):
         relation: str,
         observed,
     ) -> tuple[float, float]:
-        """Split a tree's estimated *remaining* cost into (gated, ungated).
-
-        Gated work requires ``relation``'s tuples: reading them, pushing
-        them (and every intermediate containing them) through join nodes,
-        and materializing the outputs of nodes covering the relation.
-        Ungated work — other sources' reads, inserts and probes, and
-        intermediates not involving the relation — can proceed while the
-        collapsed source stalls.  Every contribution is scaled by the
-        *unconsumed fraction* of its driving relations (a mid-flight switch
-        only re-processes remaining data in-phase; cross-phase combinations
-        go to stitch-up, which both candidates pay comparably), so the model
-        compares what is still ahead, not the whole run.  Mirrors the
-        hash-join charges of
-        :class:`~repro.optimizer.cost_model.PlanCostModel` (merge-strategy
-        refinements are ignored here: a completion-time *comparison* only
-        needs the dominant terms).
-        """
-        model = self.cost_model
-
-        def remaining_fraction(name: str) -> float:
-            return self._remaining_fraction(estimator, observed, name)
-
-        gated = 0.0
-        ungated = 0.0
-
-        def visit(node: JoinTree) -> tuple[float, float]:
-            """Returns (estimated output cardinality, remaining fraction)."""
-            nonlocal gated, ungated
-            relations = node.relations()
-            if node.is_leaf:
-                base = estimator.base_cardinality(node.relation)
-                fraction = remaining_fraction(node.relation)
-                cost = base * fraction * (model.tuple_read + model.predicate_eval)
-                if node.relation == relation:
-                    gated += cost
-                else:
-                    ungated += cost
-                return estimator.estimate_cardinality(relations), fraction
-            left_card, left_fraction = visit(node.left)
-            right_card, right_fraction = visit(node.right)
-            per_input = model.hash_insert + model.hash_probe
-            left_cost = left_card * left_fraction * per_input
-            right_cost = right_card * right_fraction * per_input
-            if relation in node.left.relations():
-                gated += left_cost
-                ungated += right_cost
-            elif relation in node.right.relations():
-                gated += right_cost
-                ungated += left_cost
-            else:
-                ungated += left_cost + right_cost
-            card = estimator.estimate_cardinality(relations)
-            fraction = left_fraction * right_fraction
-            output_cost = card * fraction * model.tuple_copy
-            if relation in relations:
-                gated += output_cost
-            else:
-                ungated += output_cost
-            return card, fraction
-
-        output_card, output_fraction = visit(tree)
-        if query.aggregation is not None:
-            # Final answers need every source, so aggregation work is gated.
-            gated += output_card * output_fraction * model.aggregate_update * max(
-                len(query.aggregation.aggregates), 1
-            )
-        return gated, ungated
+        """Split a tree's estimated *remaining* cost into (gated, ungated)."""
+        return split_remaining_cost(
+            query, tree, estimator, relation, observed, self.cost_model
+        )
 
     def describe(self) -> dict[str, object]:
         return {
             "policy": self.name,
             "collapse_fraction": self.collapse_fraction,
             "switch_threshold": self.switch_threshold,
+        }
+
+
+class RateOutlookPolicy(AdaptationPolicy):
+    """Feed cached cross-query rate telemetry into initial plan choice.
+
+    Serving-side policy (registered into every session via the server's
+    ``rate_seeded_plans`` knob): when the shared statistics cache has seen a
+    source deliver far below its promise recently, supply a
+    ``rate_outlook`` — relation → estimated remaining arrival window — so
+    the optimizer's very first tree for a repeat query over that source
+    starts *gated* instead of discovering the collapse mid-flight.  Carries
+    no per-run state and proposes no actions; it only answers the
+    :meth:`rate_outlook` hook.
+    """
+
+    name = "rate_outlook"
+
+    def __init__(self, cache, collapse_fraction: float = 0.5) -> None:
+        """``cache`` is the server's ``SharedStatisticsCache``;
+        ``collapse_fraction`` mirrors the rate policy's collapse bar — only
+        sources below it are worth perturbing the initial plan for."""
+        self.cache = cache
+        self.collapse_fraction = collapse_fraction
+
+    def rate_outlook(self, run: AdaptationRun) -> dict[str, float] | None:
+        outlook = self.cache.rate_outlook(
+            run.query.relations, collapse_fraction=self.collapse_fraction
+        )
+        return outlook or None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "policy": self.name,
+            "collapse_fraction": self.collapse_fraction,
         }

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.adaptivity import (
     AdaptationController,
     JoinStrategyPolicy,
+    MirrorFailoverPolicy,
     PlanSwitchPolicy,
     SourceRatePolicy,
 )
@@ -144,6 +145,9 @@ class CorrectiveQueryProcessor:
         rate_adaptive: bool = False,
         rate_collapse_fraction: float = 0.5,
         rate_switch_threshold: float = 0.8,
+        failover_adaptive: bool = False,
+        failover_stall_seconds: float = 0.05,
+        failover_outage_polls: int = 2,
         adaptation: AdaptationController | None = None,
     ) -> None:
         """Parameters mirror the paper's experimental knobs.
@@ -183,6 +187,17 @@ class CorrectiveQueryProcessor:
         ``rate_switch_threshold``.  Opt-in; without catalog rate promises
         the policy never acts.
 
+        ``failover_adaptive=True`` adds the mirror-failover policy
+        (:class:`~repro.adaptivity.failover.MirrorFailoverPolicy`): a source
+        in sustained outage — ``failover_outage_polls`` consecutive polls
+        stalled past ``failover_stall_seconds`` or decisively behind its
+        delivery promise — whose :class:`~repro.sources.remote.RemoteSource`
+        has registered mirrors gets its cursor re-pointed at a mirror's
+        resumed stream for the remainder of the relation.  Answers are
+        bit-identical (same rows, different arrival times); registered
+        before the rate policy so a recoverable outage is repaired rather
+        than merely gated around.
+
         ``engine_mode="compiled"`` (opt-in, requires ``batch_size``) runs
         every phase through fused plan-specialized batch pipelines
         (:mod:`repro.engine.compiled`) instead of the generic operator code.
@@ -220,6 +235,7 @@ class CorrectiveQueryProcessor:
         self.order_tolerance = order_tolerance
         self.engine_mode = engine_mode
         self.rate_adaptive = rate_adaptive
+        self.failover_adaptive = failover_adaptive
         self.optimizer = Optimizer(
             catalog, self.cost_model, bushy=bushy, default_cardinality=default_cardinality
         )
@@ -230,6 +246,15 @@ class CorrectiveQueryProcessor:
             if order_adaptive:
                 policies.append(
                     JoinStrategyPolicy(catalog, order_tolerance=order_tolerance)
+                )
+            if failover_adaptive:
+                policies.append(
+                    MirrorFailoverPolicy(
+                        catalog,
+                        stall_threshold_seconds=failover_stall_seconds,
+                        outage_polls=failover_outage_polls,
+                        collapse_fraction=rate_collapse_fraction,
+                    )
                 )
             if rate_adaptive:
                 policies.append(
@@ -351,7 +376,9 @@ class CorrectiveQueryProcessor:
             current_tree = initial_tree
         else:
             current_tree = self.optimizer.optimize_tree(
-                query, ordering=run.current_ordering()
+                query,
+                ordering=run.current_ordering(),
+                rate_outlook=run.current_rate_outlook(),
             )
         phase_algorithms: list[dict[str, str]] = []
         peak_state_tuples = 0
@@ -565,6 +592,7 @@ class CorrectiveQueryProcessor:
                 "seeded_statistics": seed_statistics is not None,
                 "order_adaptive": self.order_adaptive,
                 "rate_adaptive": self.rate_adaptive,
+                "failover_adaptive": self.failover_adaptive,
                 "engine_mode": self.engine_mode,
                 # Physical join algorithm per node, per phase (shows
                 # hash↔merge switches), and the peak resident join state.

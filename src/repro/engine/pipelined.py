@@ -235,6 +235,28 @@ class SourceCursor:
                 self._observe_order(row)
         return rows
 
+    def failover_to(self, source_like) -> None:
+        """Re-point this cursor at a resumed stream (mirror failover).
+
+        ``source_like`` supplies the *remainder* of the relation from this
+        cursor's current :attr:`consumed` offset (see
+        ``RemoteSource.reopen_from``) — the consumed count, order detectors,
+        and every consumer-side invariant carry over untouched, so the
+        running plan sees one continuous stream whose rows are identical to
+        the primary's and only the arrival times change.  The buffered
+        prefetch chunk is discarded: its rows were *scheduled* by the dead
+        primary but never consumed, and the resumed stream re-delivers them
+        on the mirror's schedule.
+        """
+        self._chunks = self._open(source_like, self.prefetch)
+        self._rows = ()
+        self._arrivals = ()
+        self._pos = 0
+        self._stream_done = False
+        self.exhausted = False
+        self.promised_rate = getattr(source_like, "promised_rate", self.promised_rate)
+        self.arrived_by = getattr(source_like, "arrived_by", self.arrived_by)
+
 
 class PipelinedJoinNode:
     """One symmetric hash join inside the push network."""

@@ -12,6 +12,7 @@ Regenerate any of the paper's tables/figures without going through pytest::
     python -m repro.experiments.cli order-bench   # order-adaptive joins
     python -m repro.experiments.cli engine-bench  # tuple vs batched vs compiled
     python -m repro.experiments.cli rate-bench    # source-rate adaptivity
+    python -m repro.experiments.cli resilience-bench  # failover/backpressure/seeding
     python -m repro.experiments.cli all           # every paper figure/table
 
 Use ``--scale`` to trade runtime for fidelity (default 0.003), ``--seed``
@@ -31,7 +32,12 @@ verifying bit-identical accounting (``--bench-output BENCH_pr4.json``).
 ``rate_adaptive=True`` over slow / bursty / flaky remote-source deliveries
 in both engine modes, verifies identical answers, and gates the >= 1.3x
 simulated-time speedup on the slow and bursty workloads
-(``--bench-output BENCH_pr5.json``).
+(``--bench-output BENCH_pr5.json``).  ``resilience-bench`` exercises the
+resilience policy suite — mirror failover on a dead primary (solo, both
+engine modes), admission backpressure under a flaky serving pool (p95
+must improve), and rate-seeded initial plan choice for a repeat query —
+verifying in every scenario that the resilient configuration's answers
+are identical to its baseline twin (``--bench-output BENCH_pr6.json``).
 """
 
 from __future__ import annotations
@@ -257,6 +263,64 @@ def run_rate_bench(
     )
 
 
+def run_resilience_bench(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    output: str | None = None,
+) -> None:
+    from repro.experiments.resilience_bench import (
+        ENGINE_CONFIGS,
+        resilience_bench_rows,
+        run_resilience_benchmark,
+    )
+
+    # --batch-size overrides the failover scenario's engine configurations.
+    engine_configs = ENGINE_CONFIGS
+    if batch_size is not None:
+        engine_configs = tuple(
+            (engine_mode, batch_size) for engine_mode, _ in ENGINE_CONFIGS
+        )
+    result = run_resilience_benchmark(
+        scale_factor=scale, seed=seed, engine_configs=engine_configs
+    )
+    _print(
+        "Resilience suite — mirror failover / admission backpressure / rate-seeded plans",
+        format_table(resilience_bench_rows(result)),
+    )
+    # Write the record before the verification gates: on a failure the JSON
+    # is the primary diagnostic.
+    if output is not None:
+        path = pathlib.Path(output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbenchmark record written to {path}")
+    if not result["all_verified"]:
+        raise SystemExit(
+            "resilience-bench verification FAILED: a resilient configuration "
+            "changed answers against its baseline twin"
+        )
+    print("resilient-vs-baseline verification: all result multisets identical")
+    if not result["failover_ok"]:
+        raise SystemExit(
+            "resilience-bench acceptance FAILED: mirror failover missed the "
+            f"{result['failover_speedup_bar']}x bar (or never fired)"
+        )
+    if not result["backpressure_ok"]:
+        raise SystemExit(
+            "resilience-bench acceptance FAILED: admission backpressure did "
+            "not improve the pool's p95 latency"
+        )
+    if not result["rate_seeded_ok"]:
+        raise SystemExit(
+            "resilience-bench acceptance FAILED: the seeded repeat query did "
+            "not start on a gating tree"
+        )
+    print(
+        "failover beat static beyond the bar, backpressure improved p95, and "
+        "the seeded repeat started gated"
+    )
+
+
 def run_engine_bench(
     scale: float,
     seed: int,
@@ -323,7 +387,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["serve-bench", "order-bench", "engine-bench", "rate-bench", "all"],
+        + [
+            "serve-bench",
+            "order-bench",
+            "engine-bench",
+            "rate-bench",
+            "resilience-bench",
+            "all",
+        ],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -379,7 +450,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--bench-output",
         default=None,
-        help="serve-bench / order-bench / engine-bench / rate-bench: write the JSON benchmark record to this path",
+        help=(
+            "serve-bench / order-bench / engine-bench / rate-bench / "
+            "resilience-bench: write the JSON benchmark record to this path"
+        ),
     )
     return parser
 
@@ -421,6 +495,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.experiment == "rate-bench":
         run_rate_bench(
+            args.scale,
+            args.seed,
+            args.batch_size,
+            output=args.bench_output,
+        )
+    elif args.experiment == "resilience-bench":
+        run_resilience_bench(
             args.scale,
             args.seed,
             args.batch_size,

@@ -1,0 +1,191 @@
+"""Exposed-work costing: completion time under a stalled source's arrivals.
+
+Two trees of near-equal total work can differ hugely in *completion time*
+when one source's delivery has collapsed: work that does not depend on the
+slow source's tuples is masked by the arrival stall (the engine computes
+while it waits), while work downstream of the slow source serializes after
+its arrivals.  The **exposed work** of a tree is the part of its completion
+time the arrival window cannot absorb::
+
+    exposed(tree) ≈ max(ungated_work − T_R, 0) + gated_work
+
+where ``T_R`` is the estimated remaining arrival window of the slow source,
+``gated_work`` is the cost attributable to that source's stream (its reads,
+its side of every join node containing it, and those nodes' outputs), and
+``ungated_work`` is everything else — chargeable while waiting.
+
+This model is shared by two consumers on opposite sides of the layering:
+
+* the mid-flight :class:`~repro.adaptivity.rate.SourceRatePolicy`, which
+  re-scores the *running* tree against a gating candidate at every poll; and
+* the :class:`~repro.optimizer.enumerator.Optimizer` itself, which — given a
+  ``rate_outlook`` of known-slow sources from recent serving telemetry —
+  applies the same comparison to the *initial* plan choice, so a repeat
+  query over a known-slow source starts gated instead of reacting mid-flight.
+
+It lives in the optimizer layer because the optimizer must not import the
+adaptivity kernel (the kernel already imports the optimizer).
+"""
+
+from __future__ import annotations
+
+from repro.engine.cost import CostModel
+from repro.optimizer.plans import JoinTree
+from repro.optimizer.statistics import SelectivityEstimator
+
+#: cap on the estimated remaining-arrival window (keeps completion-time
+#: comparisons finite when the observed rate is ~0)
+MAX_REMAINING_SECONDS = 1.0e9
+
+
+def remaining_fraction(
+    estimator: SelectivityEstimator, observed, name: str
+) -> float:
+    """Unconsumed fraction of one source (1.0 when nothing was read)."""
+    obs = observed.source(name) if observed is not None else None
+    read = obs.tuples_read if obs is not None else 0
+    base = estimator.base_cardinality(name)
+    return min(max(1.0 - read / max(base, 1.0), 0.0), 1.0)
+
+
+def gating_tree(query, enumerator, relation: str) -> JoinTree | None:
+    """Best tree that joins ``relation`` last, on top of the cheapest tree
+    over the remaining relations (minimal work downstream of the slow
+    source).  ``None`` when the query has no joins, or when gating would
+    force a cross product."""
+    rest = frozenset(query.relations) - {relation}
+    if not rest:
+        return None
+    if not query.predicates_between(rest, frozenset((relation,))):
+        return None
+    try:
+        below = enumerator.best_tree_for(rest)
+    except ValueError:
+        return None
+    return JoinTree.join(below, JoinTree.leaf(relation))
+
+
+def split_remaining_cost(
+    query,
+    tree: JoinTree,
+    estimator: SelectivityEstimator,
+    relation: str,
+    observed,
+    cost_model: CostModel,
+) -> tuple[float, float]:
+    """Split a tree's estimated *remaining* cost into (gated, ungated).
+
+    Gated work requires ``relation``'s tuples: reading them, pushing them
+    (and every intermediate containing them) through join nodes, and
+    materializing the outputs of nodes covering the relation.  Ungated work
+    — other sources' reads, inserts and probes, and intermediates not
+    involving the relation — can proceed while the slow source stalls.
+    Every contribution is scaled by the *unconsumed fraction* of its driving
+    relations (a mid-flight switch only re-processes remaining data
+    in-phase; cross-phase combinations go to stitch-up, which competing
+    candidates pay comparably), so the model compares what is still ahead,
+    not the whole run.  With ``observed=None`` every fraction is 1.0 — the
+    fresh-start form the initial plan choice uses.  Mirrors the hash-join
+    charges of :class:`~repro.optimizer.cost_model.PlanCostModel`
+    (merge-strategy refinements are ignored: a completion-time *comparison*
+    only needs the dominant terms).
+    """
+    model = cost_model
+    gated = 0.0
+    ungated = 0.0
+
+    def visit(node: JoinTree) -> tuple[float, float]:
+        """Returns (estimated output cardinality, remaining fraction)."""
+        nonlocal gated, ungated
+        relations = node.relations()
+        if node.is_leaf:
+            base = estimator.base_cardinality(node.relation)
+            fraction = remaining_fraction(estimator, observed, node.relation)
+            cost = base * fraction * (model.tuple_read + model.predicate_eval)
+            if node.relation == relation:
+                gated += cost
+            else:
+                ungated += cost
+            return estimator.estimate_cardinality(relations), fraction
+        left_card, left_fraction = visit(node.left)
+        right_card, right_fraction = visit(node.right)
+        per_input = model.hash_insert + model.hash_probe
+        left_cost = left_card * left_fraction * per_input
+        right_cost = right_card * right_fraction * per_input
+        if relation in node.left.relations():
+            gated += left_cost
+            ungated += right_cost
+        elif relation in node.right.relations():
+            gated += right_cost
+            ungated += left_cost
+        else:
+            ungated += left_cost + right_cost
+        card = estimator.estimate_cardinality(relations)
+        fraction = left_fraction * right_fraction
+        output_cost = card * fraction * model.tuple_copy
+        if relation in relations:
+            gated += output_cost
+        else:
+            ungated += output_cost
+        return card, fraction
+
+    output_card, output_fraction = visit(tree)
+    if query.aggregation is not None:
+        # Final answers need every source, so aggregation work is gated.
+        gated += output_card * output_fraction * model.aggregate_update * max(
+            len(query.aggregation.aggregates), 1
+        )
+    return gated, ungated
+
+
+def exposed_seconds(
+    query,
+    tree: JoinTree,
+    estimator: SelectivityEstimator,
+    relation: str,
+    window_seconds: float,
+    cost_model: CostModel,
+    observed=None,
+) -> float:
+    """The tree's completion-time residue under ``relation``'s arrival window."""
+    gated, ungated = split_remaining_cost(
+        query, tree, estimator, relation, observed, cost_model
+    )
+    spu = cost_model.seconds_per_unit
+    return max(ungated * spu - window_seconds, 0.0) + gated * spu
+
+
+def choose_rate_aware_tree(
+    query,
+    enumerator,
+    estimator: SelectivityEstimator,
+    best: JoinTree,
+    rate_outlook: dict[str, float],
+    cost_model: CostModel,
+) -> JoinTree:
+    """Pick between the work-optimal tree and a gating tree at plan time.
+
+    ``rate_outlook`` maps relation names to their estimated remaining
+    arrival windows (simulated seconds), as supplied by recent rate
+    telemetry (see ``SharedStatisticsCache.rate_outlook``).  The slowest
+    named relation is considered for gating; the gating tree wins when its
+    exposed work under that window beats the work-optimal tree's.  With no
+    applicable outlook the work-optimal tree is returned unchanged.
+    """
+    if len(query.relations) < 2:
+        return best
+    candidates = [
+        name
+        for name in query.relations
+        if rate_outlook.get(name, 0.0) > 0.0
+    ]
+    if not candidates:
+        return best
+    slow = max(candidates, key=lambda name: (rate_outlook[name], name))
+    window = min(rate_outlook[slow], MAX_REMAINING_SECONDS)
+    gated = gating_tree(query, enumerator, slow)
+    if gated is None or str(gated) == str(best):
+        return best
+    best_exposed = exposed_seconds(query, best, estimator, slow, window, cost_model)
+    gated_exposed = exposed_seconds(query, gated, estimator, slow, window, cost_model)
+    return gated if gated_exposed < best_exposed else best

@@ -62,6 +62,13 @@ class SharedStatisticsCache:
         self.cardinalities: dict[str, int] = {}
         #: attribute histograms keyed by ``(relation, attribute)``
         self.histograms: dict[tuple[str, str], DynamicCompressedHistogram] = {}
+        #: recent delivery telemetry per relation: ``(now, arrived)`` samples
+        #: (capped at :data:`RATE_SAMPLE_WINDOW`), the promised rate, and the
+        #: source's total size — fed by the server's admission/absorption
+        #: hooks, read by backpressure and rate-aware initial plan choice
+        self.rate_samples: dict[str, list[tuple[float, int]]] = {}
+        self.rate_promises: dict[str, float] = {}
+        self.rate_totals: dict[str, int] = {}
         self.queries_seeded = 0
         self.queries_absorbed = 0
 
@@ -143,6 +150,98 @@ class SharedStatisticsCache:
     ) -> DynamicCompressedHistogram | None:
         return self.histograms.get((relation, attribute))
 
+    # -- delivery-rate telemetry -------------------------------------------------
+
+    #: how many recent ``(now, arrived)`` samples each relation keeps
+    RATE_SAMPLE_WINDOW = 8
+
+    def record_rate_sample(
+        self,
+        relation: str,
+        now: float,
+        arrived: int,
+        promised_rate: float | None = None,
+        total: int | None = None,
+    ) -> None:
+        """Record one delivery observation (source had delivered ``arrived``
+        tuples by simulated time ``now``).  Samples are deduplicated per
+        instant — the serving loop touches sources at admission *and*
+        absorption, often within the same tick — and the window keeps only
+        the most recent :data:`RATE_SAMPLE_WINDOW` entries."""
+        samples = self.rate_samples.setdefault(relation, [])
+        if samples and samples[-1][0] == now:
+            samples[-1] = (now, max(samples[-1][1], arrived))
+        else:
+            samples.append((now, arrived))
+            if len(samples) > self.RATE_SAMPLE_WINDOW:
+                del samples[0]
+        if promised_rate is not None:
+            self.rate_promises[relation] = promised_rate
+        if total is not None:
+            self.rate_totals[relation] = total
+
+    def observed_rate(self, relation: str) -> float | None:
+        """Recent delivery rate (tuples/second), or ``None`` when unmeasurable.
+
+        Windowed over the recorded samples when at least two distinct
+        instants exist; the cumulative ``arrived / now`` otherwise.
+        """
+        samples = self.rate_samples.get(relation, [])
+        if not samples:
+            return None
+        (t0, a0), (t1, a1) = samples[0], samples[-1]
+        if len(samples) >= 2 and t1 > t0:
+            return max(a1 - a0, 0) / (t1 - t0)
+        if t1 > 0:
+            return a1 / t1
+        return None
+
+    def rate_outlook(
+        self,
+        relations,
+        collapse_fraction: float = 0.5,
+        min_expected: int = 16,
+    ) -> dict[str, float]:
+        """Estimated remaining arrival windows of currently-collapsed sources.
+
+        For each named relation whose recent telemetry shows delivery
+        decisively below its promise (the rate policy's collapse bar:
+        ``arrived < collapse_fraction * min(promised * now, total)``, judged
+        only once ``min_expected`` tuples should have arrived), the map
+        carries ``remaining_tuples / observed_rate`` in simulated seconds —
+        the ``rate_outlook`` shape the optimizer's
+        :func:`~repro.optimizer.exposure.choose_rate_aware_tree` consumes.
+        Healthy, unknown, and fully-delivered sources are absent.
+        """
+        from repro.optimizer.exposure import MAX_REMAINING_SECONDS
+
+        outlook: dict[str, float] = {}
+        for relation in relations:
+            samples = self.rate_samples.get(relation, [])
+            promised = self.rate_promises.get(relation)
+            if not samples or promised is None or promised <= 0:
+                continue
+            t1, a1 = samples[-1]
+            if t1 <= 0:
+                continue
+            expected = promised * t1
+            total = self.rate_totals.get(relation)
+            if total is not None:
+                expected = min(expected, float(total))
+                if a1 >= total:
+                    continue
+            if expected < min_expected:
+                continue
+            if a1 >= collapse_fraction * expected:
+                continue
+            remaining = max((total - a1) if total is not None else expected - a1, 0.0)
+            rate = self.observed_rate(relation)
+            if rate is None or rate <= 0:
+                outlook[relation] = MAX_REMAINING_SECONDS
+            else:
+                outlook[relation] = min(remaining / rate, MAX_REMAINING_SECONDS)
+        return outlook
+
     # -- reporting --------------------------------------------------------------
 
     def summary(self) -> dict[str, int]:
@@ -152,6 +251,7 @@ class SharedStatisticsCache:
             "cardinalities": len(self.cardinalities),
             "orderings": len(self.orderings),
             "histograms": len(self.histograms),
+            "rate_samples": len(self.rate_samples),
             "queries_seeded": self.queries_seeded,
             "queries_absorbed": self.queries_absorbed,
         }

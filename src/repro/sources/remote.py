@@ -45,6 +45,9 @@ class RemoteSource(DataSource):
         #: that references it (each with its own cursor), so this counts the
         #: concurrent-connection load the source pool absorbed.
         self.open_count = 0
+        #: replica sources serving the same rows, in failover order (see
+        #: :meth:`register_mirror`).
+        self.mirrors: list["RemoteSource"] = []
 
     @property
     def arrival_schedule(self) -> tuple[float, ...]:
@@ -138,4 +141,95 @@ class RemoteSource(DataSource):
         """Return a copy of this source behind a different network model."""
         return RemoteSource(
             self.relation, network, self.name, promised_rate=self.promised_rate
+        )
+
+    # -- mirrors ---------------------------------------------------------------------
+
+    def register_mirror(self, mirror: "RemoteSource") -> "RemoteSource":
+        """Register a replica that can resume this source's stream; returns it.
+
+        Failover correctness rests on the mirror serving **the same rows in
+        the same order** — the resumed stream continues from a row offset,
+        so any divergence would silently change answers.  Both the row
+        identity and the schema are therefore validated here, at
+        registration time, rather than trusted at failover time.
+        """
+        if tuple(mirror.schema.names) != tuple(self.schema.names):
+            raise ValueError(
+                f"mirror {mirror.name!r} schema {mirror.schema.names} does not "
+                f"match primary {self.name!r} schema {self.schema.names}"
+            )
+        if mirror.relation.rows != self.relation.rows:
+            raise ValueError(
+                f"mirror {mirror.name!r} does not serve the same rows as "
+                f"primary {self.name!r} (failover would change answers)"
+            )
+        self.mirrors.append(mirror)
+        return mirror
+
+    def reopen_from(self, offset: int, start_at: float) -> "ResumedRemoteStream":
+        """Open this source's stream from row ``offset``, connecting at
+        ``start_at`` (simulated seconds).  The remaining rows arrive on this
+        source's own network schedule re-based to the connection time — what
+        a fresh client opening the replica mid-query would observe."""
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        return ResumedRemoteStream(self, offset, start_at)
+
+
+class ResumedRemoteStream:
+    """The remainder of a relation, re-opened from a mirror mid-query.
+
+    Quacks like a source for exactly the surface a
+    :class:`~repro.engine.pipelined.SourceCursor` re-points itself at during
+    mirror failover: ``open_stream_columns`` (the remaining rows on the
+    mirror's arrival schedule shifted to the connection time),
+    ``promised_rate``, and the ``arrived_by`` delivery oracle — which counts
+    from the *original stream's start*, i.e. it reports ``offset`` delivered
+    tuples at connection time, so rate telemetry stays continuous across the
+    failover.
+    """
+
+    def __init__(self, source: RemoteSource, offset: int, start_at: float) -> None:
+        self.source = source
+        self.name = source.name
+        self.offset = offset
+        self.start_at = start_at
+        self.promised_rate = source.promised_rate
+        self._rows = source.relation.rows[offset:]
+        self._arrivals = tuple(
+            start_at + t for t in source.arrival_schedule[: len(self._rows)]
+        )
+
+    def __len__(self) -> int:
+        return self.offset + len(self._rows)
+
+    def arrived_by(self, now: float) -> int:
+        """Delivered count by ``now``, continuing the primary's numbering."""
+        from bisect import bisect_right
+
+        return self.offset + bisect_right(self._arrivals, now)
+
+    def open_stream_columns(self, batch_size: int):
+        """Column chunks of the remaining rows (see RemoteSource's variant)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.source.open_count += 1
+        rows = self._rows
+        arrivals = self._arrivals
+
+        def chunks():
+            for start in range(0, len(rows), batch_size):
+                stop = start + batch_size
+                chunk_arrivals = arrivals[start:stop]
+                if chunk_arrivals and chunk_arrivals[-1] <= 0.0:
+                    yield rows[start:stop], None
+                else:
+                    yield rows[start:stop], chunk_arrivals
+        return chunks()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResumedRemoteStream({self.name!r}, offset={self.offset}, "
+            f"start_at={self.start_at:.3f}s, remaining={len(self._rows)})"
         )

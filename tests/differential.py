@@ -859,6 +859,116 @@ def assert_rate_differential_case(result: RateDifferentialResult) -> None:
     )
 
 
+def mirror_outage_setup(
+    workload: DifferentialWorkload, promised_rate: float = 4000.0
+) -> tuple[Catalog, dict[str, object]]:
+    """Every source: healthy opening burst, then a sustained outage — with a
+    healthy mirror registered on each primary.
+
+    The primary delivers at full promised rate for a few milliseconds, then
+    collapses into a deep trickle (0.5% of the promise) for the rest of the
+    run; a replica behind a healthy constant-rate link is registered as its
+    mirror.  With ``failover_adaptive=True`` the mirror-failover policy
+    detects the sustained outage and resumes the remainder of each stream
+    from the mirror; the differential suite pins that the stitched
+    partial-primary + resumed-mirror reads answer bit-identically to the
+    no-failover run and the brute-force oracle.
+    """
+    catalog = Catalog()
+    sources: dict[str, object] = {}
+    for index, (name, relation) in enumerate(workload.relations.items()):
+        outage_network = PhasedRateNetworkModel(
+            [
+                (0.003 + 0.001 * index, promised_rate),
+                (30.0, 0.005 * promised_rate),
+            ],
+            tail_rate=promised_rate,
+            latency=0.0005,
+        )
+        mirror_network = PhasedRateNetworkModel(
+            [(0.001, promised_rate)],
+            tail_rate=promised_rate,
+            latency=0.0005,
+        )
+        primary = RemoteSource(relation, outage_network, promised_rate=promised_rate)
+        primary.register_mirror(
+            RemoteSource(
+                relation,
+                mirror_network,
+                name=f"{name}_mirror",
+                promised_rate=promised_rate,
+            )
+        )
+        sources[name] = primary
+        catalog.register(
+            name, relation.schema, TableStatistics(promised_rate=promised_rate)
+        )
+    return catalog, sources
+
+
+@dataclass
+class MirrorDifferentialResult:
+    """No-failover vs mirror-failover observables for one outage workload."""
+
+    seed: int
+    workload: DifferentialWorkload
+    reference: Counter
+    static: EngineObservables
+    failover: EngineObservables
+    failovers: int
+    failover_details: list[dict]
+
+
+def run_mirror_differential_case(
+    seed: int, batch_size: int | None = 64
+) -> MirrorDifferentialResult:
+    """Run one workload over outage-bound mirrored sources with and without
+    mirror failover.
+
+    Both runs start from the same deliberately bad plan; the failover run's
+    result multiset must match the no-failover run and the reference oracle
+    no matter which sources failed over (only arrival times may differ).
+    """
+    workload = generate_workload(seed)
+    observed = {}
+    details = {}
+    for failover_adaptive in (False, True):
+        catalog, sources = mirror_outage_setup(workload)
+        report, observables = run_solo_corrective(
+            workload,
+            batch_size=batch_size,
+            catalog=catalog,
+            sources=sources,
+            failover_adaptive=failover_adaptive,
+            failover_stall_seconds=0.005,
+        )
+        observed[failover_adaptive] = observables
+        details[failover_adaptive] = report.details.get("adaptation", {})
+    failover_details = details[True].get("failovers", [])
+    return MirrorDifferentialResult(
+        seed=seed,
+        workload=workload,
+        reference=Counter(reference_spja(workload.query, workload.relations)),
+        static=observed[False],
+        failover=observed[True],
+        failovers=len(failover_details),
+        failover_details=failover_details,
+    )
+
+
+def assert_mirror_differential_case(result: MirrorDifferentialResult) -> None:
+    """Assert the answers-never-change contract for one mirror-failover case."""
+    name = result.workload.query.name
+    assert result.static.multiset == result.reference, (
+        f"seed {result.seed}: no-failover run over outage sources disagrees "
+        f"with the reference oracle on {name}"
+    )
+    assert result.failover.multiset == result.reference, (
+        f"seed {result.seed}: mirror-failover run disagrees with the "
+        f"reference oracle on {name} (failovers={result.failover_details})"
+    )
+
+
 def assert_differential_case(result: DifferentialResult) -> None:
     """Assert the equivalence contract for one differential case."""
     for label, multiset in result.row_multisets.items():
