@@ -24,22 +24,26 @@ default policy stack reproduces the pre-kernel behaviour bit for bit.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adaptivity.policies import AdaptationPolicy
 
 
 @dataclass
 class AdaptationContext:
     """Everything a policy may consult when asked for a decision."""
 
-    query: object
-    catalog: object
-    observed: object
+    query: Any
+    catalog: Any
+    observed: Any
     phase_id: int
     now: float
-    current_tree: object
-    current_strategies: dict | None
+    current_tree: Any
+    current_strategies: dict[frozenset[str], Any] | None
     can_switch: bool
-    plan: object | None = None
+    plan: Any | None = None
 
     def __repr__(self) -> str:
         return (
@@ -69,9 +73,9 @@ class SwitchPlanAction(AdaptationAction):
 
     def __init__(
         self,
-        tree,
+        tree: Any,
         reason: str,
-        strategies: dict | None = None,
+        strategies: dict[frozenset[str], Any] | None = None,
         improvement: float = 0.0,
         same_tree: bool = False,
         policy: str = "",
@@ -126,7 +130,7 @@ class FailoverSourceAction(AdaptationAction):
     def __init__(
         self,
         relation: str,
-        resumed,
+        resumed: Any,
         reason: str,
         mirror_name: str = "",
         policy: str = "",
@@ -150,11 +154,11 @@ class AdaptationRun:
     def __init__(
         self,
         controller: "AdaptationController",
-        query,
-        catalog,
-        monitor=None,
-        cursors: dict | None = None,
-        sources: dict | None = None,
+        query: Any,
+        catalog: Any,
+        monitor: Any | None = None,
+        cursors: dict[str, Any] | None = None,
+        sources: dict[str, Any] | None = None,
     ) -> None:
         self.controller = controller
         self.query = query
@@ -165,23 +169,23 @@ class AdaptationRun:
         #: live read-priority overrides (relation -> priority class); the
         #: executor mirrors this into every phase's plan
         self.read_priorities: dict[str, int] = {}
-        self.event_counts: Counter = Counter()
+        self.event_counts: Counter[str] = Counter()
         self.switches: list[SwitchPlanAction] = []
         self.failovers: list[FailoverSourceAction] = []
         self.reprioritizations: int = 0
-        self._scratch: dict[int, dict] = {}
+        self._scratch: dict[int, dict[str, Any]] = {}
         for policy in controller.policies:
             policy.begin_run(self)
 
     # -- per-policy scratch space ------------------------------------------------
 
-    def scratch(self, policy) -> dict:
+    def scratch(self, policy: "AdaptationPolicy") -> dict[str, Any]:
         """Private per-run state store for one policy instance."""
         return self._scratch.setdefault(id(policy), {})
 
     # -- phase hooks ---------------------------------------------------------------
 
-    def current_ordering(self):
+    def current_ordering(self) -> Any | None:
         """Ordering knowledge for plan choice (None unless a policy supplies it)."""
         for policy in self.controller.policies:
             ordering = policy.current_ordering(self)
@@ -189,7 +193,7 @@ class AdaptationRun:
                 return ordering
         return None
 
-    def phase_strategies(self, tree) -> dict | None:
+    def phase_strategies(self, tree: Any) -> dict[frozenset[str], Any] | None:
         """Physical join-strategy assignment for a phase about to start."""
         for policy in self.controller.policies:
             strategies = policy.phase_strategies(self, tree)
@@ -197,7 +201,7 @@ class AdaptationRun:
                 return strategies
         return None
 
-    def current_rate_outlook(self) -> dict | None:
+    def current_rate_outlook(self) -> dict[str, float] | None:
         """Known-slow-source arrival windows for initial plan choice.
 
         ``None`` unless a policy supplies one (the serving layer's
@@ -213,9 +217,9 @@ class AdaptationRun:
 
     def poll(
         self,
-        plan,
-        current_tree,
-        current_strategies: dict | None,
+        plan: Any,
+        current_tree: Any,
+        current_strategies: dict[frozenset[str], Any] | None,
         phase_id: int,
         now: float,
         can_switch: bool,
@@ -266,7 +270,7 @@ class AdaptationRun:
             self.switches.append(winner)
         return winner
 
-    def _apply_priorities(self, action: ReprioritizeReadsAction, plan) -> None:
+    def _apply_priorities(self, action: ReprioritizeReadsAction, plan: Any) -> None:
         if action.priorities == {
             name: self.read_priorities.get(name, 0) for name in action.priorities
         }:
@@ -318,14 +322,14 @@ class AdaptationRun:
 class AdaptationController:
     """Registry of adaptation policies plus the machinery to consult them."""
 
-    def __init__(self, policies=()) -> None:
-        self._policies: list = list(policies)
+    def __init__(self, policies: Iterable["AdaptationPolicy"] = ()) -> None:
+        self._policies: list["AdaptationPolicy"] = list(policies)
 
     @property
-    def policies(self) -> tuple:
+    def policies(self) -> tuple["AdaptationPolicy", ...]:
         return tuple(self._policies)
 
-    def register(self, policy):
+    def register(self, policy: "AdaptationPolicy") -> "AdaptationPolicy":
         """Append ``policy`` to the consultation order; returns it.
 
         This is the extension point the kernel exists for: a new adaptive
@@ -335,7 +339,7 @@ class AdaptationController:
         self._policies.append(policy)
         return policy
 
-    def policy(self, name: str):
+    def policy(self, name: str) -> "AdaptationPolicy | None":
         """Look a registered policy up by its ``name`` (None when absent)."""
         for policy in self._policies:
             if policy.name == name:
@@ -344,11 +348,11 @@ class AdaptationController:
 
     def begin(
         self,
-        query,
-        catalog,
-        monitor=None,
-        cursors: dict | None = None,
-        sources: dict | None = None,
+        query: Any,
+        catalog: Any,
+        monitor: Any | None = None,
+        cursors: dict[str, Any] | None = None,
+        sources: dict[str, Any] | None = None,
     ) -> AdaptationRun:
         """Open the adaptation run for one query execution."""
         return AdaptationRun(
@@ -357,7 +361,7 @@ class AdaptationController:
 
     # -- cross-query (serving) hooks --------------------------------------------------
 
-    def session_starting(self, query, catalog):
+    def session_starting(self, query: Any, catalog: Any) -> Any | None:
         """A serving session is being activated: collect seed statistics.
 
         The first policy that supplies seed observations wins (the shared
@@ -369,7 +373,7 @@ class AdaptationController:
                 return seed
         return None
 
-    def session_finished(self, report, catalog) -> None:
+    def session_finished(self, report: Any, catalog: Any) -> None:
         """A serving session completed: let policies absorb what it learned."""
         for policy in self._policies:
             policy.session_finished(report, catalog)

@@ -39,7 +39,7 @@ class SelectivityDriftEvent(AdaptationEvent):
     ``previous`` is ``None`` the first time the subexpression is observed.
     """
 
-    relations: frozenset
+    relations: frozenset[str]
     selectivity: float
     previous: float | None = None
 

@@ -43,6 +43,16 @@ class MirrorFailoverPolicy(AdaptationPolicy):
     """Re-point cursors of sources in sustained outage at registered mirrors."""
 
     name = "mirror_failover"
+    handles_events = frozenset({"SourceRateEvent"})
+    # Exhausted sources cannot be "down" (observe treats exhausted rate
+    # telemetry as healthy); drift and ordering are other policies' domain.
+    ignores_events = frozenset(
+        {
+            "SelectivityDriftEvent",
+            "OrderingObservedEvent",
+            "SourceExhaustedEvent",
+        }
+    )
 
     def __init__(
         self,

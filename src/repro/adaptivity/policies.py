@@ -52,9 +52,20 @@ from repro.adaptivity.controller import (
 
 
 class AdaptationPolicy:
-    """Base class / protocol: every hook is an overridable no-op."""
+    """Base class / protocol: every hook is an overridable no-op.
+
+    Every concrete policy must declare, as literal ``frozenset``s of event
+    class names, which :class:`~repro.adaptivity.events.AdaptationEvent`
+    subclasses it ``handles_events`` and which it deliberately
+    ``ignores_events``; together they must cover every event class.  The
+    ``exhaustiveness.event-policy`` lint rule enforces this, so adding a new
+    event class forces every existing policy to take an explicit position
+    instead of silently dropping it.
+    """
 
     name = "policy"
+    handles_events: frozenset[str] = frozenset()
+    ignores_events: frozenset[str] = frozenset()
 
     def begin_run(self, run: AdaptationRun) -> None:
         """A query execution is starting (cursors exist, nothing has run)."""
@@ -111,6 +122,17 @@ class PlanSwitchPolicy(AdaptationPolicy):
     """
 
     name = "plan_switch"
+    # Decides from AdaptationContext.observed (the monitor's fused
+    # statistics), not from the event stream itself.
+    handles_events = frozenset()
+    ignores_events = frozenset(
+        {
+            "SelectivityDriftEvent",
+            "OrderingObservedEvent",
+            "SourceRateEvent",
+            "SourceExhaustedEvent",
+        }
+    )
 
     def __init__(
         self,
@@ -188,6 +210,17 @@ class JoinStrategyPolicy(AdaptationPolicy):
     """
 
     name = "join_strategy"
+    # Ordering knowledge arrives through the cursors' order detectors and
+    # the monitor's observed statistics, not through the event stream.
+    handles_events = frozenset()
+    ignores_events = frozenset(
+        {
+            "SelectivityDriftEvent",
+            "OrderingObservedEvent",
+            "SourceRateEvent",
+            "SourceExhaustedEvent",
+        }
+    )
 
     def __init__(self, catalog, order_tolerance: float = 0.05) -> None:
         self.catalog = catalog
@@ -237,6 +270,17 @@ class SharedLearningPolicy(AdaptationPolicy):
     """
 
     name = "shared_learning"
+    # Purely a session-lifecycle policy: learns from finished-session
+    # reports, never from in-flight events.
+    handles_events = frozenset()
+    ignores_events = frozenset(
+        {
+            "SelectivityDriftEvent",
+            "OrderingObservedEvent",
+            "SourceRateEvent",
+            "SourceExhaustedEvent",
+        }
+    )
 
     def __init__(self, cache, share_statistics: bool = True) -> None:
         self.cache = cache

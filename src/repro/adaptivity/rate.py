@@ -80,6 +80,16 @@ class SourceRatePolicy(AdaptationPolicy):
     """Adapt the read schedule and the plan to collapsed source rates."""
 
     name = "source_rate"
+    handles_events = frozenset({"SourceRateEvent"})
+    # Exhaustion already arrives inside SourceRateEvent.exhausted; drift and
+    # ordering belong to the plan-switch / join-strategy policies.
+    ignores_events = frozenset(
+        {
+            "SelectivityDriftEvent",
+            "OrderingObservedEvent",
+            "SourceExhaustedEvent",
+        }
+    )
 
     def __init__(
         self,
@@ -419,6 +429,16 @@ class RateOutlookPolicy(AdaptationPolicy):
     """
 
     name = "rate_outlook"
+    # Stateless per run: reads the cross-query cache, consumes no events.
+    handles_events = frozenset()
+    ignores_events = frozenset(
+        {
+            "SelectivityDriftEvent",
+            "OrderingObservedEvent",
+            "SourceRateEvent",
+            "SourceExhaustedEvent",
+        }
+    )
 
     def __init__(self, cache, collapse_fraction: float = 0.5) -> None:
         """``cache`` is the server's ``SharedStatisticsCache``;

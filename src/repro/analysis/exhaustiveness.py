@@ -1,0 +1,242 @@
+"""Event/policy exhaustiveness: every event is handled or explicitly ignored.
+
+The adaptivity kernel routes every :class:`AdaptationEvent` to every
+registered :class:`AdaptationPolicy`'s ``observe`` hook.  A policy that
+silently pattern-matches a subset of events is a trap: adding a new event
+class compiles, runs, and is quietly dropped by every existing policy.
+
+This rule enforces an explicit contract: each policy class declares
+
+* ``handles_events`` — event class names its ``observe``/``decide`` logic
+  actually consumes, and
+* ``ignores_events`` — event class names it deliberately drops,
+
+as class-level ``frozenset`` literals of strings.  The rule discovers the
+event population (transitive subclasses of a class named
+``AdaptationEvent``) and the policy population (transitive subclasses of
+``AdaptationPolicy``, the base itself excluded) from the scanned ASTs, then
+checks per policy: both declarations present, every named event exists,
+handles/ignores are disjoint, their union covers the full event set, and
+any event class name referenced inside the policy body is declared handled.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import LintRule, RuleContext, register_rule
+
+EVENT_BASE = "AdaptationEvent"
+POLICY_BASE = "AdaptationPolicy"
+DECLARATION_FIELDS = ("handles_events", "ignores_events")
+
+
+@dataclass
+class ClassRecord:
+    """One class definition found during the scan."""
+
+    relpath: str
+    node: ast.ClassDef
+    base_names: tuple[str, ...]
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def collect_classes(contexts: list[RuleContext]) -> dict[str, ClassRecord]:
+    classes: dict[str, ClassRecord] = {}
+    for context in contexts:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = tuple(
+                    name
+                    for name in (_base_name(base) for base in node.bases)
+                    if name is not None
+                )
+                classes[node.name] = ClassRecord(context.relpath, node, bases)
+    return classes
+
+
+def transitive_subclasses(
+    classes: dict[str, ClassRecord], root: str
+) -> dict[str, ClassRecord]:
+    """Classes whose base chain reaches ``root`` (``root`` itself excluded)."""
+    members: set[str] = {root}
+    changed = True
+    while changed:
+        changed = False
+        for name, record in classes.items():
+            if name in members:
+                continue
+            if any(base in members for base in record.base_names):
+                members.add(name)
+                changed = True
+    return {
+        name: classes[name] for name in members if name != root and name in classes
+    }
+
+
+def _declared_name_set(node: ast.ClassDef, attr: str) -> frozenset[str] | None:
+    """The string set a class-level ``attr = frozenset({...})`` declares.
+
+    Returns ``None`` when the attribute is absent or not a literal
+    ``frozenset``/``set`` of string constants.
+    """
+    for item in node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(item, ast.Assign):
+            targets, value = item.targets, item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        if not any(
+            isinstance(target, ast.Name) and target.id == attr for target in targets
+        ):
+            continue
+        names = _literal_string_set(value)
+        return names
+    return None
+
+
+def _literal_string_set(expr: ast.expr | None) -> frozenset[str] | None:
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("frozenset", "set")
+            and len(expr.args) <= 1
+            and not expr.keywords
+        ):
+            if not expr.args:
+                return frozenset()
+            return _literal_strings(expr.args[0])
+    if isinstance(expr, ast.Set):
+        return _literal_strings(expr)
+    return None
+
+
+def _literal_strings(expr: ast.expr) -> frozenset[str] | None:
+    if isinstance(expr, (ast.Set, ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for element in expr.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.add(element.value)
+            else:
+                return None
+        return frozenset(out)
+    return None
+
+
+def _referenced_events(node: ast.ClassDef, events: frozenset[str]) -> dict[str, int]:
+    """Event class names referenced inside the class body → first line."""
+    referenced: dict[str, int] = {}
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.walk(item):
+            name: str | None = None
+            if isinstance(child, ast.Name):
+                name = child.id
+            elif isinstance(child, ast.Attribute):
+                name = child.attr
+            if name in events and name not in referenced:
+                referenced[name] = getattr(child, "lineno", item.lineno)
+    return referenced
+
+
+@register_rule
+class EventExhaustivenessRule(LintRule):
+    """Every policy must handle or explicitly ignore every event class."""
+
+    name = "exhaustiveness.event-policy"
+    description = (
+        "every AdaptationPolicy must declare handles_events/ignores_events "
+        "frozensets whose union covers every AdaptationEvent subclass; new "
+        "events cannot be silently dropped by existing policies"
+    )
+    project_wide = True
+    scope_dirs = None  # event/policy classes are discovered wherever they live
+
+    def check_project(self, contexts: list[RuleContext]) -> list[Finding]:
+        classes = collect_classes(contexts)
+        events = frozenset(transitive_subclasses(classes, EVENT_BASE))
+        policies = transitive_subclasses(classes, POLICY_BASE)
+        if not events or not policies:
+            return []
+
+        findings: list[Finding] = []
+        for name in sorted(policies):
+            record = policies[name]
+            findings.extend(self._check_policy(record, name, events))
+        return findings
+
+    def _check_policy(
+        self, record: ClassRecord, name: str, events: frozenset[str]
+    ) -> list[Finding]:
+        node = record.node
+        findings: list[Finding] = []
+
+        def flag(line: int, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path=record.relpath,
+                    line=line,
+                    symbol=name,
+                    message=message,
+                )
+            )
+
+        declared: dict[str, frozenset[str]] = {}
+        for attr in DECLARATION_FIELDS:
+            value = _declared_name_set(node, attr)
+            if value is None:
+                flag(
+                    node.lineno,
+                    f"policy lacks a literal frozenset declaration of {attr}; "
+                    "declare which AdaptationEvent subclasses it handles or "
+                    "deliberately ignores",
+                )
+            else:
+                declared[attr] = value
+        if len(declared) != len(DECLARATION_FIELDS):
+            return findings
+
+        handles = declared["handles_events"]
+        ignores = declared["ignores_events"]
+        for attr, value in declared.items():
+            for event in sorted(value - events):
+                flag(
+                    node.lineno,
+                    f"{attr} names unknown event class {event!r}; known "
+                    f"events: {', '.join(sorted(events))}",
+                )
+        for event in sorted(handles & ignores):
+            flag(
+                node.lineno,
+                f"event {event!r} appears in both handles_events and "
+                "ignores_events; pick one",
+            )
+        for event in sorted(events - handles - ignores):
+            flag(
+                node.lineno,
+                f"event {event!r} is neither handled nor explicitly ignored; "
+                "add it to handles_events or ignores_events",
+            )
+        for event, line in sorted(_referenced_events(node, events).items()):
+            if event not in handles:
+                flag(
+                    line,
+                    f"policy body references event {event!r} but does not "
+                    "declare it in handles_events",
+                )
+        return findings

@@ -1,0 +1,81 @@
+"""Findings and the whitelist mechanism of the static analyzer.
+
+A :class:`Finding` is one rule violation pinned to a file and line.  A
+:class:`Whitelist` is the *only* sanctioned way to ship code that trips a
+rule: each :class:`WhitelistEntry` names the rule, the file and the exact
+enclosing symbol it suppresses, plus a human-readable reason.  Matching is
+deliberately line-independent (symbols move, invariants don't) and exact —
+no globs — so a whitelist entry can never silently widen.  Entries that
+suppress nothing are *stale* and reported as findings themselves: the
+whitelist must describe exactly the violations that exist, no more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific location.
+
+    ``path`` is the file's posix-style path relative to the scan root
+    (``engine/executor.py``); ``symbol`` is the dotted enclosing scope
+    (``PipelinedExecutor.execute``, or ``<module>`` at module level) —
+    whitelist entries match on ``(rule, path, symbol)``.
+    """
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.symbol}: {self.message}"
+
+
+@dataclass(frozen=True)
+class WhitelistEntry:
+    """Suppresses findings of one rule at one (file, symbol) pair."""
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and finding.symbol == self.symbol
+        )
+
+    def render(self) -> str:
+        return f"{self.path} [{self.rule}] {self.symbol}: {self.reason}"
+
+
+@dataclass
+class Whitelist:
+    """An ordered collection of whitelist entries with usage tracking."""
+
+    entries: tuple[WhitelistEntry, ...] = ()
+    _used: set[WhitelistEntry] = field(default_factory=set, repr=False)
+
+    def suppresses(self, finding: Finding) -> WhitelistEntry | None:
+        """The entry suppressing ``finding``, or ``None``; records usage."""
+        for entry in self.entries:
+            if entry.matches(finding):
+                self._used.add(entry)
+                return entry
+        return None
+
+    def stale_entries(self) -> tuple[WhitelistEntry, ...]:
+        """Entries that suppressed nothing in the run(s) seen so far."""
+        return tuple(entry for entry in self.entries if entry not in self._used)
+
+    def reset(self) -> None:
+        self._used.clear()

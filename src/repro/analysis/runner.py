@@ -1,0 +1,129 @@
+"""The lint runner: scan a package tree, apply every rule, fold in the whitelist.
+
+:func:`run_lint` walks the package root (``src/repro`` by default), parses
+every ``*.py`` file, runs all registered per-module and project-wide rules,
+and splits the raw findings into *active* findings and *suppressed* ones
+(matched by the whitelist).  Whitelist entries that matched nothing are
+themselves reported as findings under the ``whitelist.stale-entry`` rule —
+a whitelist must describe exactly the violations that exist.
+
+The CI gate and the ``repro-lint`` CLI both call :func:`run_lint` and fail
+on any active finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Whitelist, WhitelistEntry
+from repro.analysis.rules import LintRule, RuleContext, default_rules
+from repro.analysis.whitelist import default_whitelist
+
+STALE_ENTRY_RULE = "whitelist.stale-entry"
+
+#: directories under the scan root that the analyzer never reads: the bench
+#: harness is wall-clock instrumentation by design
+EXCLUDED_TOP_DIRS = frozenset({"experiments"})
+
+
+def package_root() -> Path:
+    """The ``src/repro`` directory this module lives in."""
+    return Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, WhitelistEntry]] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [
+            f"repro-lint: {self.files_scanned} files, "
+            f"{len(self.rules_run)} rules, "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        for finding, entry in self.suppressed:
+            lines.append(f"  [suppressed] {finding.location()} {entry.render()}")
+        return "\n".join(lines)
+
+
+def load_contexts(root: Path, excluded: frozenset[str] = EXCLUDED_TOP_DIRS) -> list[RuleContext]:
+    """Parse every ``*.py`` under ``root`` into rule contexts, sorted by path."""
+    contexts: list[RuleContext] = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        head, _, _ = relpath.partition("/")
+        if "/" in relpath and head in excluded:
+            continue
+        contexts.append(RuleContext.from_source(relpath, path.read_text()))
+    return contexts
+
+
+def apply_rules(
+    contexts: list[RuleContext], rules: list[LintRule]
+) -> list[Finding]:
+    """All raw findings of ``rules`` over ``contexts`` (whitelist not applied)."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.project_wide:
+            findings.extend(rule.check_project(contexts))
+        else:
+            for context in contexts:
+                if rule.applies_to(context):
+                    findings.extend(rule.check_module(context))
+    return sorted(findings)
+
+
+def run_lint(
+    root: Path | None = None,
+    *,
+    rules: list[LintRule] | None = None,
+    whitelist: Whitelist | None = None,
+) -> LintReport:
+    """Run the full analyzer over ``root`` (default: the installed package)."""
+    scan_root = package_root() if root is None else root
+    active_rules = default_rules() if rules is None else rules
+    active_whitelist = default_whitelist() if whitelist is None else whitelist
+    active_whitelist.reset()
+
+    contexts = load_contexts(scan_root)
+    raw = apply_rules(contexts, active_rules)
+
+    report = LintReport(
+        files_scanned=len(contexts),
+        rules_run=tuple(rule.name for rule in active_rules),
+    )
+    for finding in raw:
+        entry = active_whitelist.suppresses(finding)
+        if entry is None:
+            report.findings.append(finding)
+        else:
+            report.suppressed.append((finding, entry))
+    for entry in active_whitelist.stale_entries():
+        report.findings.append(
+            Finding(
+                rule=STALE_ENTRY_RULE,
+                path=entry.path,
+                line=0,
+                symbol=entry.symbol,
+                message=(
+                    f"whitelist entry for rule {entry.rule!r} suppressed "
+                    "nothing; the violation it described no longer exists — "
+                    "delete the entry"
+                ),
+            )
+        )
+    report.findings.sort()
+    return report

@@ -141,11 +141,11 @@ def predicate_source(predicate, schema: Schema, env: _Env, var: str = "row") -> 
     return emit(predicate)
 
 
-def _merge_stage(node, side: str) -> Callable[[list], list]:
+def _merge_stage(node, side: str) -> Callable[[list[tuple]], list[tuple]]:
     """One fused-chain stage wrapping a merge join node's batch processing."""
     process_batch = node.process_batch
 
-    def stage(rows: list) -> list:
+    def stage(rows: list[tuple]) -> list[tuple]:
         return process_batch(rows, side)
 
     return stage

@@ -46,7 +46,7 @@ class ExecutionResult:
     metrics: ExecutionMetrics
     simulated_seconds: float
     wall_seconds: float
-    details: dict = field(default_factory=dict)
+    details: dict[str, object] = field(default_factory=dict)
 
     @property
     def cardinality(self) -> int:

@@ -229,7 +229,11 @@ class GroupAccumulator:
             "_metrics": self.metrics,
         }
         exec(_code_for(src), namespace)
-        return namespace["_fold"]
+        fold = namespace["_fold"]
+        # Expose the generated source for the compiled-codegen audit, same
+        # as compile_chain does for fused chains.
+        fold.__compiled_source__ = src
+        return fold
 
     @property
     def group_count(self) -> int:

@@ -442,7 +442,7 @@ class PipelinedPlan:
         cost_model: CostModel | None = None,
         batch_size: int | None = None,
         output_sink_batch: Callable[[list[tuple]], None] | None = None,
-        join_strategies: dict | None = None,
+        join_strategies: dict[frozenset[str], object] | None = None,
         engine_mode: str = "interpreted",
     ) -> None:
         """``join_strategies`` optionally maps a node's relation set to a
@@ -1274,7 +1274,7 @@ class PipelinedExecutor:
         sources: dict[str, object],
         cost_model: CostModel | None = None,
         batch_size: int | None = None,
-        join_strategies: dict | None = None,
+        join_strategies: dict[frozenset[str], object] | None = None,
         engine_mode: str = "interpreted",
     ) -> None:
         self.sources = dict(sources)

@@ -393,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
             "engine-bench",
             "rate-bench",
             "resilience-bench",
+            "repro-lint",
             "all",
         ],
         help="which experiment to run",
@@ -455,11 +456,42 @@ def build_parser() -> argparse.ArgumentParser:
             "resilience-bench: write the JSON benchmark record to this path"
         ),
     )
+    parser.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help=(
+            "repro-lint: skip the compiled-codegen audit and only run the "
+            "file-level rules (the full gate runs both)"
+        ),
+    )
     return parser
+
+
+def run_repro_lint(codegen: bool = True) -> int:
+    """The static-analysis gate: file-level lint plus the codegen audit.
+
+    Prints both reports and returns a process exit code — nonzero as soon
+    as either leaves a single unwhitelisted finding, which is what the CI
+    ``analysis`` job gates on.
+    """
+    from repro.analysis import run_lint
+
+    report = run_lint()
+    print(report.render())
+    failed = not report.clean
+    if codegen:
+        from repro.analysis.codegen_audit import audit_generated_pipelines
+
+        codegen_report = audit_generated_pipelines()
+        print(codegen_report.render())
+        failed = failed or not codegen_report.clean
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "repro-lint":
+        return run_repro_lint(codegen=not args.no_codegen)
     if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit("--batch-size must be a positive integer")
     if args.engine_mode == "compiled" and args.batch_size is None:

@@ -47,7 +47,7 @@ class PlanCostModel:
         query: SPJAQuery,
         tree: JoinTree,
         estimator: SelectivityEstimator,
-        join_strategies: dict | None = None,
+        join_strategies: dict[frozenset[str], JoinStrategy] | None = None,
     ) -> CostEstimate:
         """Cost of executing ``tree``, plus final aggregation.
 
@@ -87,7 +87,7 @@ class PlanCostModel:
         tree: JoinTree,
         estimator: SelectivityEstimator,
         cardinalities: dict[frozenset, float],
-        join_strategies: dict | None = None,
+        join_strategies: dict[frozenset[str], JoinStrategy] | None = None,
     ) -> tuple[float, float]:
         relations = tree.relations()
         if tree.is_leaf:

@@ -78,7 +78,7 @@ class JoinEnumerator:
         return plan_join_strategies(self.query, tree, self.ordering)
 
     def cost_of(
-        self, tree: JoinTree, join_strategies: dict | None = None
+        self, tree: JoinTree, join_strategies: dict[frozenset[str], JoinStrategy] | None = None
     ) -> CostEstimate:
         """Cost of a specific (externally supplied) join tree.
 
@@ -94,7 +94,7 @@ class JoinEnumerator:
 
     # -- enumeration ------------------------------------------------------------
 
-    def _connected(self, relations: frozenset) -> bool:
+    def _connected(self, relations: frozenset[str]) -> bool:
         """True when the join graph restricted to ``relations`` is connected."""
         if len(relations) <= 1:
             return True
@@ -115,7 +115,7 @@ class JoinEnumerator:
             frontier = nxt
         return reached == relations
 
-    def _splits(self, relations: frozenset):
+    def _splits(self, relations: frozenset[str]):
         """Yield (left, right) partitions of ``relations`` to consider."""
         members = sorted(relations)
         n = len(members)
@@ -141,7 +141,7 @@ class JoinEnumerator:
             left_set = frozenset(left)
             yield left_set, relations - left_set
 
-    def _best(self, relations: frozenset) -> _MemoEntry:
+    def _best(self, relations: frozenset[str]) -> _MemoEntry:
         entry = self._memo.get(relations)
         if entry is not None:
             return entry

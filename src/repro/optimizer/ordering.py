@@ -138,7 +138,7 @@ class OrderingKnowledge:
 
 
 def _oriented_keys(
-    query: SPJAQuery, left_relations: frozenset, right_relations: frozenset
+    query: SPJAQuery, left_relations: frozenset[str], right_relations: frozenset[str]
 ) -> tuple[str, str] | None:
     """The primary join-key pair of a node, oriented (left_attr, right_attr).
 

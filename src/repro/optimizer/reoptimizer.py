@@ -40,8 +40,8 @@ class ReOptimizationDecision:
     #: order-adaptive physical strategies (relation set → JoinStrategy) of
     #: the running plan and of the recommendation; empty when order
     #: adaptivity is off
-    current_strategies: dict = field(default_factory=dict)
-    recommended_strategies: dict = field(default_factory=dict)
+    current_strategies: dict[frozenset[str], JoinStrategy] = field(default_factory=dict)
+    recommended_strategies: dict[frozenset[str], JoinStrategy] = field(default_factory=dict)
     #: whether the recommended tree is structurally identical to the running
     #: one (a switch with ``same_tree`` changes only the physical strategies)
     same_tree: bool = False
@@ -143,7 +143,7 @@ class ReOptimizer:
         query: SPJAQuery,
         current_tree: JoinTree,
         observed: ObservedStatistics,
-        current_strategies: dict | None = None,
+        current_strategies: dict[frozenset[str], JoinStrategy] | None = None,
     ) -> ReOptimizationDecision:
         """Compare the running configuration against the best alternative.
 

@@ -25,12 +25,12 @@ from repro.relational.catalog import Catalog, DEFAULT_ASSUMED_CARDINALITY
 from repro.relational.expressions import JoinPredicate
 
 
-def selectivity_key(relations: Iterable[str]) -> frozenset:
+def selectivity_key(relations: Iterable[str]) -> frozenset[str]:
     """Canonical key identifying a logical subexpression (its relation set)."""
     return frozenset(relations)
 
 
-def predicate_key(predicate: JoinPredicate) -> frozenset:
+def predicate_key(predicate: JoinPredicate) -> frozenset[str]:
     """Canonical key for a join predicate (order-independent)."""
     return frozenset(
         (
@@ -349,7 +349,7 @@ class SelectivityEstimator:
 
     # -- join subexpressions ------------------------------------------------------
 
-    def estimate_cardinality(self, relations: frozenset) -> float:
+    def estimate_cardinality(self, relations: frozenset[str]) -> float:
         """Estimated output cardinality of joining ``relations`` (selections applied)."""
         relations = frozenset(relations)
         if relations in self._cache:
@@ -384,7 +384,7 @@ class SelectivityEstimator:
             if pred.left_relation in relations and pred.right_relation in relations
         ]
 
-    def _system_r_estimate(self, relations: frozenset) -> float:
+    def _system_r_estimate(self, relations: frozenset[str]) -> float:
         """Product of input cardinalities scaled by 1/max(distinct) per predicate."""
         value = 1.0
         for relation in relations:
@@ -395,18 +395,18 @@ class SelectivityEstimator:
             value /= max(left_distinct, right_distinct, 1.0)
         return max(value, 1.0)
 
-    def _foreign_key_speculation(self, relations: frozenset) -> float:
+    def _foreign_key_speculation(self, relations: frozenset[str]) -> float:
         """Speculate every join is key/foreign-key: result matches the largest input."""
         return max(self.selected_cardinality(r) for r in relations)
 
-    def _multiplicative_penalty(self, relations: frozenset) -> float:
+    def _multiplicative_penalty(self, relations: frozenset[str]) -> float:
         """Blow-up factor from predicates previously flagged as multiplicative."""
         penalty = 1.0
         for pred in self._internal_predicates(relations):
             penalty *= self.observed.multiplicative_factor(pred)
         return penalty
 
-    def selectivity(self, relations: frozenset) -> float:
+    def selectivity(self, relations: frozenset[str]) -> float:
         """Selectivity (output / product of inputs) of a subexpression estimate."""
         product = 1.0
         for relation in relations:

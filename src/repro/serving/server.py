@@ -171,7 +171,7 @@ class QueryServer:
         admission_backpressure: bool = False,
         backpressure_collapse_fraction: float = 0.5,
         rate_seeded_plans: bool = False,
-        session_policies: tuple = (),
+        session_policies: tuple[object, ...] = (),
     ) -> None:
         """``quantum_tuples`` is the scheduling granularity: how many source
         tuples one grant may process before control returns to the scheduler

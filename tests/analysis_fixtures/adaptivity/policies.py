@@ -1,0 +1,69 @@
+"""Fixture: a self-contained event/policy hierarchy for exhaustiveness.event-policy.
+
+The rule discovers events and policies by base-class name, so this fixture
+carries its own ``AdaptationEvent`` / ``AdaptationPolicy`` roots and never
+touches the real adaptivity package.
+"""
+
+
+class AdaptationEvent:
+    pass
+
+
+class AlphaEvent(AdaptationEvent):
+    pass
+
+
+class BetaEvent(AdaptationEvent):
+    pass
+
+
+class GammaEvent(AlphaEvent):
+    # Transitive subclass: still part of the event population.
+    pass
+
+
+class AdaptationPolicy:
+    handles_events = frozenset()
+    ignores_events = frozenset()
+
+    def observe(self, run, event):
+        pass
+
+
+class MissingDeclarationPolicy(AdaptationPolicy):  # LINT: missing-declaration
+    def observe(self, run, event):
+        pass
+
+
+class IncompletePolicy(AdaptationPolicy):  # LINT: incomplete-coverage
+    handles_events = frozenset({"AlphaEvent"})
+    ignores_events = frozenset({"BetaEvent"})
+
+
+class OverlapPolicy(AdaptationPolicy):  # LINT: overlap
+    handles_events = frozenset({"AlphaEvent", "BetaEvent", "GammaEvent"})
+    ignores_events = frozenset({"AlphaEvent"})
+
+
+class UnknownEventPolicy(AdaptationPolicy):  # LINT: unknown-event
+    handles_events = frozenset({"DeltaEvent"})
+    ignores_events = frozenset({"AlphaEvent", "BetaEvent", "GammaEvent"})
+
+
+class SilentConsumerPolicy(AdaptationPolicy):
+    handles_events = frozenset()
+    ignores_events = frozenset({"AlphaEvent", "BetaEvent", "GammaEvent"})
+
+    def observe(self, run, event):
+        if isinstance(event, BetaEvent):  # LINT: undeclared-reference
+            raise RuntimeError("consumed an event it claims to ignore")
+
+
+class CompliantPolicy(AdaptationPolicy):
+    handles_events = frozenset({"AlphaEvent", "GammaEvent"})
+    ignores_events = frozenset({"BetaEvent"})
+
+    def observe(self, run, event):
+        if isinstance(event, (AlphaEvent, GammaEvent)):
+            return

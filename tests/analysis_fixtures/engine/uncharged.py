@@ -1,0 +1,26 @@
+"""Fixture: uncharged operator mutation paths for accounting.uncharged-mutation."""
+
+
+class LeakyOperator:
+    def push_batch(self, rows):  # LINT: uncharged-entry
+        for row in rows:
+            self.state.insert(row)  # LINT: uncharged-mutator-call
+        return len(rows)
+
+
+class ChargedOperator:
+    # Charges through a helper: the call-graph closure must keep this silent.
+    def push_batch(self, rows):
+        self._fold(rows)
+        self.state.insert_batch(rows)
+        return len(rows)
+
+    def _fold(self, rows):
+        self.metrics.tuples_read += len(rows)
+
+
+class BatchChargedOperator:
+    # Direct charge_batch call; must not fire.
+    def accumulate_batch(self, rows):
+        self.groups.add_count(len(rows))
+        self.metrics.charge_batch(aggregate_updates=len(rows))

@@ -1,0 +1,20 @@
+"""Fixture: set iteration in emit paths for determinism.unordered-iter."""
+
+
+class LeakyEmitter:
+    def push_batch(self, rows):
+        keys = {row[0] for row in rows}
+        out = []
+        for key in keys:  # LINT: unordered-for
+            out.append(key)
+        pending = set(rows)
+        out.extend(list(pending))  # LINT: unordered-list
+        survivors = [row for row in keys | pending]  # LINT: unordered-comp
+        out.extend(survivors)
+        for key in sorted(keys):  # sorted iteration must not fire
+            out.append(key)
+        return out
+
+    def helper(self, rows):
+        # Not an emit-path method: set iteration here is out of scope.
+        return [row for row in set(rows)]

@@ -1,0 +1,27 @@
+"""Fixture: seeded wall-clock violations for the determinism.wall-clock rule.
+
+Never imported — only parsed by the analyzer tests.  ``# LINT:`` markers
+anchor the exact-line assertions.
+"""
+
+import time as clock_module
+from datetime import datetime
+from time import perf_counter
+
+
+class TimingOperator:
+    def measure(self):
+        start = clock_module.time()  # LINT: wall-clock-attr
+        return start
+
+    def stamp(self):
+        return datetime.now()  # LINT: wall-clock-datetime
+
+
+def free_function_timer():
+    return perf_counter()  # LINT: wall-clock-member
+
+
+def simulated_ok(clock):
+    # Reading the simulated clock is the sanctioned path; must not fire.
+    return clock.now

@@ -1,0 +1,18 @@
+"""Fixture: module-level random draws for the determinism.module-random rule."""
+
+import random
+from random import randint
+
+
+def unseeded_draw():
+    return random.random()  # LINT: module-random-attr
+
+
+def unseeded_member_draw():
+    return randint(1, 6)  # LINT: module-random-member
+
+
+def seeded_ok(seed):
+    # Explicitly seeded instances are the sanctioned path; must not fire.
+    rng = random.Random(seed)
+    return rng.random() + rng.randint(1, 6)

@@ -1,0 +1,348 @@
+"""The static analyzer's own test suite.
+
+Two layers:
+
+* **fixture tests** — ``tests/analysis_fixtures/`` is a miniature package
+  tree with ``# LINT:`` marker comments on every seeded violation; each
+  rule is asserted to fire at exactly the marked file/line, and sanctioned
+  neighbouring constructs (seeded RNGs, ``sorted`` iteration, charged
+  operators, compliant policies) are asserted silent;
+* **gate tests** — the real package must lint clean (zero unwhitelisted
+  findings, no stale whitelist entries), and the compiled-codegen audit
+  must cover the required corpus breadth and come back clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Whitelist,
+    WhitelistEntry,
+    default_rules,
+    registered_rules,
+    run_lint,
+)
+from repro.analysis.codegen_audit import (
+    RULE_ACCOUNTING,
+    RULE_DETERMINISM,
+    RULE_PURITY,
+    audit_chain_source,
+    audit_fold_source,
+    audit_generated_pipelines,
+)
+from repro.analysis.runner import STALE_ENTRY_RULE, apply_rules, load_contexts
+
+FIXTURE_ROOT = Path(__file__).parent / "analysis_fixtures"
+
+
+def line_of(relpath: str, marker: str) -> int:
+    """1-based line of the unique ``# LINT: <marker>`` comment in a fixture."""
+    lines = (FIXTURE_ROOT / relpath).read_text().splitlines()
+    hits = [i + 1 for i, line in enumerate(lines) if f"# LINT: {marker}" in line]
+    assert len(hits) == 1, f"marker {marker!r} not unique in {relpath}: {hits}"
+    return hits[0]
+
+
+@pytest.fixture(scope="module")
+def fixture_findings():
+    """All raw findings of every rule over the fixture tree (no whitelist)."""
+    contexts = load_contexts(FIXTURE_ROOT)
+    return apply_rules(contexts, default_rules())
+
+
+def findings_for(findings, rule: str, path: str):
+    return [f for f in findings if f.rule == rule and f.path == path]
+
+
+class TestWallClockRule:
+    def test_fires_at_each_marked_site(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "determinism.wall-clock", "engine/wall_clock.py"
+        )
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (line_of("engine/wall_clock.py", "wall-clock-attr"), "TimingOperator.measure"),
+            (line_of("engine/wall_clock.py", "wall-clock-datetime"), "TimingOperator.stamp"),
+            (line_of("engine/wall_clock.py", "wall-clock-member"), "free_function_timer"),
+        }
+
+    def test_simulated_clock_reads_are_silent(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "determinism.wall-clock", "engine/wall_clock.py"
+        )
+        assert all(f.symbol != "simulated_ok" for f in hits)
+
+
+class TestModuleRandomRule:
+    def test_fires_on_module_level_draws(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings,
+            "determinism.module-random",
+            "workloads/module_random.py",
+        )
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (line_of("workloads/module_random.py", "module-random-attr"), "unseeded_draw"),
+            (
+                line_of("workloads/module_random.py", "module-random-member"),
+                "unseeded_member_draw",
+            ),
+        }
+
+    def test_seeded_instances_are_silent(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings,
+            "determinism.module-random",
+            "workloads/module_random.py",
+        )
+        assert all(f.symbol != "seeded_ok" for f in hits)
+
+
+class TestUnorderedIterationRule:
+    def test_fires_on_set_iteration_in_emit_path(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "determinism.unordered-iter", "engine/unordered.py"
+        )
+        lines = {f.line for f in hits}
+        assert lines == {
+            line_of("engine/unordered.py", "unordered-for"),
+            line_of("engine/unordered.py", "unordered-list"),
+            line_of("engine/unordered.py", "unordered-comp"),
+        }
+        assert all(f.symbol == "LeakyEmitter.push_batch" for f in hits)
+
+    def test_sorted_iteration_and_non_emit_methods_are_silent(
+        self, fixture_findings
+    ):
+        hits = findings_for(
+            fixture_findings, "determinism.unordered-iter", "engine/unordered.py"
+        )
+        source = (FIXTURE_ROOT / "engine/unordered.py").read_text().splitlines()
+        for finding in hits:
+            assert "sorted(" not in source[finding.line - 1]
+            assert "helper" not in finding.symbol
+
+
+class TestWorkAccountingRule:
+    def test_uncharged_entry_point_and_mutator_call_fire(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "accounting.uncharged-mutation", "engine/uncharged.py"
+        )
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (
+                line_of("engine/uncharged.py", "uncharged-entry"),
+                "LeakyOperator.push_batch",
+            ),
+            (
+                line_of("engine/uncharged.py", "uncharged-mutator-call"),
+                "LeakyOperator.push_batch",
+            ),
+        }
+
+    def test_charging_closure_covers_helpers_and_charge_batch(
+        self, fixture_findings
+    ):
+        hits = findings_for(
+            fixture_findings, "accounting.uncharged-mutation", "engine/uncharged.py"
+        )
+        assert all("ChargedOperator" not in f.symbol for f in hits)
+        assert all("BatchChargedOperator" not in f.symbol for f in hits)
+
+
+class TestEventExhaustivenessRule:
+    PATH = "adaptivity/policies.py"
+
+    def test_each_violation_kind_fires_at_its_class(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "exhaustiveness.event-policy", self.PATH
+        )
+        by_symbol = {}
+        for finding in hits:
+            by_symbol.setdefault(finding.symbol, []).append(finding)
+
+        missing = by_symbol.pop("MissingDeclarationPolicy")
+        assert len(missing) == 2  # handles_events and ignores_events both absent
+        assert {f.line for f in missing} == {
+            line_of(self.PATH, "missing-declaration")
+        }
+
+        (incomplete,) = by_symbol.pop("IncompletePolicy")
+        assert incomplete.line == line_of(self.PATH, "incomplete-coverage")
+        assert "'GammaEvent'" in incomplete.message
+
+        (overlap,) = by_symbol.pop("OverlapPolicy")
+        assert overlap.line == line_of(self.PATH, "overlap")
+        assert "'AlphaEvent'" in overlap.message
+
+        (unknown,) = by_symbol.pop("UnknownEventPolicy")
+        assert unknown.line == line_of(self.PATH, "unknown-event")
+        assert "'DeltaEvent'" in unknown.message
+
+        (silent,) = by_symbol.pop("SilentConsumerPolicy")
+        assert silent.line == line_of(self.PATH, "undeclared-reference")
+        assert "'BetaEvent'" in silent.message
+
+        # The compliant policy (and the skipped base class) stay silent.
+        assert by_symbol == {}
+
+
+class TestWhitelist:
+    def test_entry_suppresses_exactly_its_site(self):
+        whitelist = Whitelist(
+            entries=(
+                WhitelistEntry(
+                    rule="determinism.wall-clock",
+                    path="engine/wall_clock.py",
+                    symbol="TimingOperator.measure",
+                    reason="fixture: deliberate suppression",
+                ),
+            )
+        )
+        report = run_lint(FIXTURE_ROOT, whitelist=whitelist)
+        suppressed = {(f.rule, f.path, f.symbol) for f, _ in report.suppressed}
+        assert suppressed == {
+            (
+                "determinism.wall-clock",
+                "engine/wall_clock.py",
+                "TimingOperator.measure",
+            )
+        }
+        # Every other wall-clock finding in the same file survives.
+        remaining = findings_for(
+            report.findings, "determinism.wall-clock", "engine/wall_clock.py"
+        )
+        assert {f.symbol for f in remaining} == {
+            "TimingOperator.stamp",
+            "free_function_timer",
+        }
+
+    def test_stale_entry_is_reported_as_a_finding(self):
+        whitelist = Whitelist(
+            entries=(
+                WhitelistEntry(
+                    rule="determinism.wall-clock",
+                    path="engine/wall_clock.py",
+                    symbol="NoSuch.symbol",
+                    reason="fixture: describes nothing",
+                ),
+            )
+        )
+        report = run_lint(FIXTURE_ROOT, whitelist=whitelist)
+        stale = [f for f in report.findings if f.rule == STALE_ENTRY_RULE]
+        assert len(stale) == 1
+        assert stale[0].symbol == "NoSuch.symbol"
+
+
+class TestRulePopulation:
+    def test_every_registered_rule_fires_on_the_fixtures(self, fixture_findings):
+        """Population meta-test: a rule nothing can trip is a dead rule."""
+        fired = {finding.rule for finding in fixture_findings}
+        assert fired == set(registered_rules())
+
+
+class TestPackageGate:
+    def test_package_lints_clean(self):
+        """The real package: zero unwhitelisted findings, no stale entries."""
+        report = run_lint()
+        assert report.clean, "\n" + report.render()
+        assert report.files_scanned > 80
+        # Every whitelist entry earned its keep (stale ones would be findings).
+        assert report.suppressed, "expected the documented wall-timing sites"
+
+    def test_cli_gate_exits_zero(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["repro-lint", "--no-codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+
+class TestCodegenAudit:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return audit_generated_pipelines()
+
+    def test_generated_corpus_is_clean(self, report):
+        assert report.clean, "\n" + report.render()
+
+    def test_corpus_breadth(self, report):
+        assert report.pipelines_audited >= 20
+        assert report.hash_pipelines > 0
+        assert report.merge_pipelines > 0
+        assert report.inline_predicate_chains > 0
+        assert report.opaque_predicate_chains > 0
+        assert report.folds_audited > 0
+        assert report.chains_audited >= report.pipelines_audited
+
+    def test_missing_charge_fires(self):
+        src = "def _chain(rows, _b=None, _sink=None):\n    _tr = len(rows)\n    _sink(rows)\n"
+        findings = audit_chain_source(src, "<doctored>")
+        assert any(
+            f.rule == RULE_ACCOUNTING and "exactly one top-level _charge" in f.message
+            for f in findings
+        )
+
+    def test_conditional_charge_fires(self):
+        src = (
+            "def _chain(rows, _charge=None, _sink=None):\n"
+            "    _tr = len(rows)\n"
+            "    _sink(rows)\n"
+            "    if _tr:\n"
+            "        _charge(tuples_read=_tr, predicate_evals=0, hash_inserts=0, "
+            "hash_probes=0, tuple_copies=0, tuples_output=0)\n"
+        )
+        findings = audit_chain_source(src, "<doctored>")
+        assert any(
+            f.rule == RULE_ACCOUNTING and "exactly one top-level _charge" in f.message
+            for f in findings
+        )
+
+    def test_incomplete_counter_set_fires(self):
+        src = (
+            "def _chain(rows, _charge=None, _sink=None):\n"
+            "    _tr = len(rows)\n"
+            "    _sink(rows)\n"
+            "    _charge(tuples_read=_tr)\n"
+        )
+        findings = audit_chain_source(src, "<doctored>")
+        assert any(
+            f.rule == RULE_ACCOUNTING and "omits counters" in f.message
+            for f in findings
+        )
+
+    def test_impure_predicate_fires(self):
+        src = (
+            "def _chain(rows, _charge=None, _sink=None):\n"
+            "    _tr = len(rows)\n"
+            "    rows = [row for row in rows if row[0] > len(row)]\n"
+            "    _sink(rows)\n"
+            "    _charge(tuples_read=_tr, predicate_evals=0, hash_inserts=0, "
+            "hash_probes=0, tuple_copies=0, tuples_output=0)\n"
+        )
+        findings = audit_chain_source(src, "<doctored>")
+        assert any(
+            f.rule == RULE_PURITY and "len" in f.message for f in findings
+        )
+
+    def test_banned_name_in_generated_source_fires(self):
+        src = (
+            "def _chain(rows, _charge=None, _sink=None):\n"
+            "    _tr = len(rows)\n"
+            "    _t0 = time.time()\n"
+            "    _sink(rows)\n"
+            "    _charge(tuples_read=_tr, predicate_evals=0, hash_inserts=0, "
+            "hash_probes=0, tuple_copies=0, tuples_output=0)\n"
+        )
+        findings = audit_chain_source(src, "<doctored>")
+        assert any(
+            f.rule == RULE_DETERMINISM and "'time'" in f.message for f in findings
+        )
+
+    def test_uncharged_fold_fires(self):
+        src = "def _fold(rows, _self=None, _metrics=None):\n    for row in rows:\n        pass\n"
+        findings = audit_fold_source(src, "<doctored-fold>")
+        messages = " | ".join(f.message for f in findings)
+        assert "aggregate_updates" in messages
+        assert "tuples_consumed" in messages

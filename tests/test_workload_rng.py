@@ -3,23 +3,18 @@
 The differential harness compares engines on byte-for-byte identical data, so
 any draw from the *module-level* ``random`` generator (whose state is global
 and mutated by unrelated code) would silently break reproducibility.  These
-tests pin the contract three ways: generation is bit-identical per seed, the
-global generator's state is neither consumed nor disturbed, and a source-level
-audit rejects reintroduction of module-level draws.
+tests pin the contract behaviorally: generation is bit-identical per seed and
+the global generator's state is neither consumed nor disturbed.  The static
+side of the contract — rejecting reintroduction of module-level draws at the
+source level — is enforced project-wide by the ``determinism.module-random``
+lint rule (``repro.analysis``), which replaced the regex scanner that used to
+live here.
 """
 
 from __future__ import annotations
 
-import inspect
 import random
-import re
 
-import pytest
-
-import repro.sources.network as network_module
-import repro.stats.zipf as zipf_module
-import repro.workloads.generator as generator_module
-import repro.workloads.perturb as perturb_module
 from repro.sources.network import BurstyNetworkModel
 from repro.workloads.generator import TPCHGenerator
 from repro.workloads.perturb import (
@@ -87,27 +82,3 @@ class TestSeededReproducibility:
         assert once.rows == again.rows
         assert once.rows != other.rows
         assert displaced_fraction(orders, once) > 0.2
-
-
-# Draws that would hit the shared module-level generator.
-_MODULE_LEVEL_DRAW = re.compile(
-    r"(?<!\w)random\.(random|randint|randrange|choice|choices|shuffle|sample|"
-    r"uniform|gauss|expovariate|betavariate|paretovariate|vonmisesvariate|"
-    r"normalvariate|seed|getrandbits|triangular)\("
-)
-
-
-@pytest.mark.parametrize(
-    "module",
-    [generator_module, perturb_module, network_module, zipf_module],
-    ids=lambda m: m.__name__,
-)
-def test_source_audit_no_module_level_draws(module):
-    """Static audit: randomized modules may only draw via ``random.Random``
-    instances constructed from an explicit seed."""
-    source = inspect.getsource(module)
-    match = _MODULE_LEVEL_DRAW.search(source)
-    assert match is None, (
-        f"{module.__name__} draws from the module-level random generator via "
-        f"{match.group(0)!r}; route it through a seeded random.Random instead"
-    )
