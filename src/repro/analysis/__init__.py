@@ -9,7 +9,13 @@ AST-level lint rules (see :mod:`repro.analysis.rules` for the framework):
 * ``accounting.uncharged-mutation`` — every operator mutation path reaches
   an ``ExecutionMetrics`` charge (:mod:`repro.analysis.accounting`);
 * ``exhaustiveness.event-policy`` — every adaptation event is handled or
-  explicitly ignored by every policy (:mod:`repro.analysis.exhaustiveness`).
+  explicitly ignored by every policy (:mod:`repro.analysis.exhaustiveness`);
+* ``sharding.shared-channel`` / ``sharding.session-isolation`` /
+  ``sharding.clock-discipline`` / ``sharding.picklability`` — the serving
+  layer's sharing contract (:mod:`repro.serving.channels`) is explicit and
+  honored (:mod:`repro.analysis.sharding`);
+* ``effects.global-mutable`` — no module-level mutable globals outside
+  reviewed idempotent caches (:mod:`repro.analysis.effects`).
 
 :func:`repro.analysis.runner.run_lint` drives a full scan;
 :mod:`repro.analysis.codegen_audit` runs the same rules over *generated*
@@ -17,7 +23,14 @@ compiled-engine source.  The ``repro-lint`` CLI subcommand and the CI
 ``analysis`` job gate on a clean report.
 """
 
-from repro.analysis.findings import Finding, Whitelist, WhitelistEntry
+from repro.analysis.findings import (
+    Finding,
+    PragmaIgnore,
+    PragmaSet,
+    Whitelist,
+    WhitelistEntry,
+    collect_pragmas,
+)
 from repro.analysis.rules import (
     LintRule,
     RuleContext,
@@ -33,9 +46,12 @@ __all__ = [
     "Finding",
     "LintReport",
     "LintRule",
+    "PragmaIgnore",
+    "PragmaSet",
     "RuleContext",
     "Whitelist",
     "WhitelistEntry",
+    "collect_pragmas",
     "default_rules",
     "default_whitelist",
     "register_rule",

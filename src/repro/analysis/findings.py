@@ -1,17 +1,27 @@
-"""Findings and the whitelist mechanism of the static analyzer.
+"""Findings, the whitelist, and inline pragma suppression of the analyzer.
 
-A :class:`Finding` is one rule violation pinned to a file and line.  A
-:class:`Whitelist` is the *only* sanctioned way to ship code that trips a
-rule: each :class:`WhitelistEntry` names the rule, the file and the exact
-enclosing symbol it suppresses, plus a human-readable reason.  Matching is
-deliberately line-independent (symbols move, invariants don't) and exact —
-no globs — so a whitelist entry can never silently widen.  Entries that
-suppress nothing are *stale* and reported as findings themselves: the
-whitelist must describe exactly the violations that exist, no more.
+A :class:`Finding` is one rule violation pinned to a file and line.  Two
+sanctioned ways exist to ship code that trips a rule:
+
+* the central :class:`Whitelist` — each :class:`WhitelistEntry` names the
+  rule, the file and the exact enclosing symbol it suppresses, plus a
+  human-readable reason.  Matching is deliberately line-independent
+  (symbols move, invariants don't) and exact — no globs — so a whitelist
+  entry can never silently widen;
+* an inline ``# lint: ignore[rule-name]`` pragma on the offending line
+  (:class:`PragmaIgnore`) — scoped to exactly that line of that file, for
+  one-off exemptions that would otherwise accrete in the central list.
+
+Both are kept honest the same way: entries/pragmas that suppress nothing
+are *stale* and reported as findings themselves — the suppression surface
+must describe exactly the violations that exist, no more.
 """
 
 from __future__ import annotations
 
+import io
+import re
+import tokenize
 from dataclasses import dataclass, field
 
 
@@ -36,6 +46,16 @@ class Finding:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.symbol}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """The machine-readable shape of one finding (``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
 
 
 @dataclass(frozen=True)
@@ -79,3 +99,75 @@ class Whitelist:
 
     def reset(self) -> None:
         self._used.clear()
+
+
+#: the inline suppression syntax (several rules may be listed
+#: comma-separated); scoped to exactly the line it's on.  Matching is
+#: anchored at the start of a *comment token*, so prose that merely
+#: mentions the syntax — docstrings, doc-comments — never registers.
+PRAGMA_PATTERN = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9_.,\- ]+)\]")
+
+
+@dataclass(frozen=True)
+class PragmaIgnore:
+    """One inline pragma suppression: (path, line, rule)."""
+
+    path: str
+    line: int
+    rule: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and finding.line == self.line
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} inline pragma ignore[{self.rule}]"
+
+
+def collect_pragmas(path: str, source: str) -> tuple[PragmaIgnore, ...]:
+    """Every inline ignore pragma of one module, in line order.
+
+    Pragmas are read from comment tokens (not raw lines), so string
+    literals and docstrings that *describe* the syntax don't register as
+    suppressions.
+    """
+    pragmas: list[PragmaIgnore] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return ()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_PATTERN.match(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        for rule in match.group(1).split(","):
+            rule = rule.strip()
+            if rule:
+                pragmas.append(PragmaIgnore(path=path, line=lineno, rule=rule))
+    return tuple(pragmas)
+
+
+@dataclass
+class PragmaSet:
+    """All pragmas of one scan, with usage tracking (stale detection)."""
+
+    pragmas: tuple[PragmaIgnore, ...] = ()
+    _used: set[PragmaIgnore] = field(default_factory=set, repr=False)
+
+    def suppresses(self, finding: Finding) -> PragmaIgnore | None:
+        """The pragma suppressing ``finding``, or ``None``; records usage."""
+        for pragma in self.pragmas:
+            if pragma.matches(finding):
+                self._used.add(pragma)
+                return pragma
+        return None
+
+    def stale_pragmas(self) -> tuple[PragmaIgnore, ...]:
+        """Pragmas that suppressed nothing in the run seen so far."""
+        return tuple(p for p in self.pragmas if p not in self._used)

@@ -85,7 +85,9 @@ class LintRule:
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-_REGISTRY: dict[str, type[LintRule]] = {}
+# Idempotent by construction: repopulated identically in every process by
+# the rule-module imports in registered_rules().
+_REGISTRY: dict[str, type[LintRule]] = {}  # lint: ignore[effects.global-mutable]
 
 
 def register_rule(rule_class: type[LintRule]) -> type[LintRule]:
@@ -100,7 +102,13 @@ def register_rule(rule_class: type[LintRule]) -> type[LintRule]:
 def registered_rules() -> dict[str, type[LintRule]]:
     """Name → class for every registered rule (import side effects included)."""
     # Importing the rule modules is what populates the registry.
-    from repro.analysis import accounting, determinism, exhaustiveness  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        accounting,
+        determinism,
+        effects,
+        exhaustiveness,
+        sharding,
+    )
 
     return dict(_REGISTRY)
 

@@ -16,11 +16,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.findings import Finding, Whitelist, WhitelistEntry
+from repro.analysis.findings import (
+    Finding,
+    PragmaIgnore,
+    PragmaSet,
+    Whitelist,
+    WhitelistEntry,
+    collect_pragmas,
+)
 from repro.analysis.rules import LintRule, RuleContext, default_rules
 from repro.analysis.whitelist import default_whitelist
 
 STALE_ENTRY_RULE = "whitelist.stale-entry"
+STALE_PRAGMA_RULE = "pragma.stale-ignore"
 
 #: directories under the scan root that the analyzer never reads: the bench
 #: harness is wall-clock instrumentation by design
@@ -37,7 +45,9 @@ class LintReport:
     """The outcome of one analyzer run."""
 
     findings: list[Finding] = field(default_factory=list)
-    suppressed: list[tuple[Finding, WhitelistEntry]] = field(default_factory=list)
+    suppressed: list[tuple[Finding, WhitelistEntry | PragmaIgnore]] = field(
+        default_factory=list
+    )
     files_scanned: int = 0
     rules_run: tuple[str, ...] = ()
 
@@ -57,6 +67,25 @@ class LintReport:
         for finding, entry in self.suppressed:
             lines.append(f"  [suppressed] {finding.location()} {entry.render()}")
         return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        """The machine-readable report shape of ``--format json``.
+
+        A finding is ``{rule, path, line, symbol, message}``; suppressed
+        findings additionally carry how they were suppressed.  The shape is
+        part of the CLI contract (CI uploads it as an artifact), so changes
+        here are interface changes.
+        """
+        return {
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": [
+                {**finding.as_dict(), "suppressed_by": entry.render()}
+                for finding, entry in self.suppressed
+            ],
+        }
 
 
 def load_contexts(root: Path, excluded: frozenset[str] = EXCLUDED_TOP_DIRS) -> list[RuleContext]:
@@ -100,17 +129,41 @@ def run_lint(
 
     contexts = load_contexts(scan_root)
     raw = apply_rules(contexts, active_rules)
+    pragmas = PragmaSet(
+        pragmas=tuple(
+            pragma
+            for ctx in contexts
+            for pragma in collect_pragmas(ctx.relpath, ctx.source)
+        )
+    )
 
     report = LintReport(
         files_scanned=len(contexts),
         rules_run=tuple(rule.name for rule in active_rules),
     )
     for finding in raw:
-        entry = active_whitelist.suppresses(finding)
-        if entry is None:
+        suppressor: WhitelistEntry | PragmaIgnore | None
+        suppressor = pragmas.suppresses(finding)
+        if suppressor is None:
+            suppressor = active_whitelist.suppresses(finding)
+        if suppressor is None:
             report.findings.append(finding)
         else:
-            report.suppressed.append((finding, entry))
+            report.suppressed.append((finding, suppressor))
+    for pragma in pragmas.stale_pragmas():
+        report.findings.append(
+            Finding(
+                rule=STALE_PRAGMA_RULE,
+                path=pragma.path,
+                line=pragma.line,
+                symbol="<pragma>",
+                message=(
+                    f"inline pragma ignore[{pragma.rule}] suppressed nothing; "
+                    "the violation it exempted no longer exists — delete the "
+                    "pragma"
+                ),
+            )
+        )
     for entry in active_whitelist.stale_entries():
         report.findings.append(
             Finding(

@@ -326,7 +326,7 @@ def compile_chain(plan, binding) -> Callable[[list], None]:
 #: their own runtime bindings.  Bounded so a long-lived server over an
 #: unbounded stream of distinct query shapes cannot grow it without limit
 #: (eviction just costs the next build a recompile).
-_code_cache: dict[str, object] = {}
+_code_cache: dict[str, object] = {}  # lint: ignore[effects.global-mutable]
 _CODE_CACHE_LIMIT = 512
 
 

@@ -464,34 +464,116 @@ def build_parser() -> argparse.ArgumentParser:
             "file-level rules (the full gate runs both)"
         ),
     )
+    parser.add_argument(
+        "--shard-audit",
+        action="store_true",
+        help=(
+            "repro-lint: append the shared-channel inventory (name, type, "
+            "discipline, writers) and registry validation to the report"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="repro-lint: report format on stdout (default text)",
+    )
+    parser.add_argument(
+        "--report-output",
+        default=None,
+        help=(
+            "repro-lint: also write the JSON report to this path "
+            "(regardless of --format; CI uploads it as an artifact)"
+        ),
+    )
     return parser
 
 
-def run_repro_lint(codegen: bool = True) -> int:
+def run_repro_lint(
+    codegen: bool = True,
+    shard_audit: bool = False,
+    output_format: str = "text",
+    report_output: str | None = None,
+) -> int:
     """The static-analysis gate: file-level lint plus the codegen audit.
 
-    Prints both reports and returns a process exit code — nonzero as soon
-    as either leaves a single unwhitelisted finding, which is what the CI
-    ``analysis`` job gates on.
+    Prints both reports and returns a documented process exit code — the
+    CI ``analysis`` job gates on it:
+
+    * ``0`` — every rule clean (nothing unsuppressed);
+    * ``1`` — at least one finding (lint, codegen audit, or an invalid
+      channel registry under ``--shard-audit``);
+    * ``2`` — usage error (argparse rejects the invocation).
     """
+    import json as _json
+
     from repro.analysis import run_lint
+    from repro.serving import channels
 
     report = run_lint()
-    print(report.render())
     failed = not report.clean
+    payload: dict[str, object] = report.to_json()
+
+    registry_problems: list[str] = []
+    if shard_audit:
+        registry_problems = channels.validate_registry()
+        failed = failed or bool(registry_problems)
+        payload["channels"] = [
+            {
+                "name": channel.name,
+                "type": channel.type_name,
+                "discipline": channel.discipline,
+                "attributes": list(channel.attributes),
+                "mutators": list(channel.mutators),
+                "writers": list(channel.writers),
+                "payload_types": list(channel.payload_types),
+            }
+            for channel in channels.registered_channels().values()
+        ]
+        payload["registry_problems"] = registry_problems
+
+    codegen_report = None
     if codegen:
         from repro.analysis.codegen_audit import audit_generated_pipelines
 
         codegen_report = audit_generated_pipelines()
-        print(codegen_report.render())
         failed = failed or not codegen_report.clean
+        payload["codegen"] = {
+            "clean": codegen_report.clean,
+            "pipelines_audited": codegen_report.pipelines_audited,
+            "folds_audited": codegen_report.folds_audited,
+            "findings": [f.as_dict() for f in codegen_report.findings],
+        }
+
+    if output_format == "json":
+        print(_json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if shard_audit:
+            print(channels.render_inventory())
+            for problem in registry_problems:
+                print(f"  registry problem: {problem}")
+        if codegen_report is not None:
+            print(codegen_report.render())
+
+    if report_output is not None:
+        pathlib.Path(report_output).write_text(
+            _json.dumps(payload, indent=2) + "\n"
+        )
+
     return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "repro-lint":
-        return run_repro_lint(codegen=not args.no_codegen)
+        return run_repro_lint(
+            codegen=not args.no_codegen,
+            shard_audit=args.shard_audit,
+            output_format=args.output_format,
+            report_output=args.report_output,
+        )
     if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit("--batch-size must be a positive integer")
     if args.engine_mode == "compiled" and args.batch_size is None:

@@ -30,10 +30,12 @@ query's result multiset is identical to a solo run of the same query
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Sized
 from dataclasses import dataclass, field
 
 from repro.adaptivity import (
     AdaptationController,
+    AdaptationPolicy,
     RateOutlookPolicy,
     SharedLearningPolicy,
 )
@@ -66,7 +68,7 @@ class ServedQuery:
         return self.finished_at - self.admitted_at
 
     @property
-    def rows(self) -> list[tuple]:
+    def rows(self) -> list[tuple[object, ...]]:
         return self.report.rows
 
     @property
@@ -171,7 +173,7 @@ class QueryServer:
         admission_backpressure: bool = False,
         backpressure_collapse_fraction: float = 0.5,
         rate_seeded_plans: bool = False,
-        session_policies: tuple[object, ...] = (),
+        session_policies: tuple[AdaptationPolicy, ...] = (),
     ) -> None:
         """``quantum_tuples`` is the scheduling granularity: how many source
         tuples one grant may process before control returns to the scheduler
@@ -342,8 +344,8 @@ class QueryServer:
         # Snapshot shared sources' lifetime open counters so the report shows
         # the connection load of *this* run, not of prior solo/serving runs
         # over the same source objects.
-        opens_before = {
-            name: source.open_count
+        opens_before: dict[str, int] = {
+            name: getattr(source, "open_count")
             for name, source in self.sources.items()
             if hasattr(source, "open_count")
         }
@@ -411,9 +413,9 @@ class QueryServer:
                 # (waiting for a past instant would freeze the clock); their
                 # admission is re-evaluated on every pass.
                 targets = [
-                    session.next_arrival()
-                    for session in active
-                    if session.next_arrival() is not None
+                    arrival
+                    for arrival in (session.next_arrival() for session in active)
+                    if arrival is not None
                 ]
                 future_admits = [
                     session.admit_at
@@ -435,11 +437,13 @@ class QueryServer:
                 self._absorb(session)
 
         finished.sort(key=lambda session: session.index)
-        return ServingReport(
-            policy=self.policy.name,
-            batch_size=self.batch_size,
-            quantum_tuples=self.quantum_tuples,
-            served=[
+        served: list[ServedQuery] = []
+        for session in finished:
+            # A finished session always carries its timing and report.
+            assert session.started_at is not None
+            assert session.finished_at is not None
+            assert session.report is not None
+            served.append(
                 ServedQuery(
                     label=session.label,
                     query_name=session.query.name,
@@ -449,13 +453,17 @@ class QueryServer:
                     quanta=session.quanta,
                     report=session.report,
                 )
-                for session in finished
-            ],
+            )
+        return ServingReport(
+            policy=self.policy.name,
+            batch_size=self.batch_size,
+            quantum_tuples=self.quantum_tuples,
+            served=served,
             makespan=clock.now - started_now,
             total_quanta=self._turn,
             clock_wait_seconds=clock.wait_time,
             source_opens={
-                name: source.open_count - opens_before[name]
+                name: getattr(source, "open_count") - opens_before[name]
                 for name, source in self.sources.items()
                 if hasattr(source, "open_count")
             },
@@ -476,7 +484,7 @@ class QueryServer:
             if callable(prime):
                 prime()
 
-    def _record_rate_telemetry(self, relations) -> None:
+    def _record_rate_telemetry(self, relations: Iterable[str]) -> None:
         """Sample the named sources' delivered counts into the stats cache.
 
         No-op unless a consumer is on (backpressure / rate-seeded plans):
@@ -497,7 +505,7 @@ class QueryServer:
                 now,
                 arrived_by(now),
                 promised_rate=getattr(source, "promised_rate", None),
-                total=len(source),
+                total=len(source) if isinstance(source, Sized) else None,
             )
 
     def _admission_deferral(self, session: QuerySession) -> str | None:

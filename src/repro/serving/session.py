@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Generator
+
 from repro.core.corrective import (
     CorrectiveExecutionReport,
     CorrectiveQueryProcessor,
@@ -56,7 +58,9 @@ class QuerySession:
         self.last_granted_turn = -1
         self.last_tick: CorrectiveTick | None = None
         self.report: CorrectiveExecutionReport | None = None
-        self._runner = None
+        self._runner: (
+            Generator[CorrectiveTick, None, CorrectiveExecutionReport] | None
+        ) = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -98,6 +102,8 @@ class QuerySession:
         return self.state is self.DONE
 
     def _advance(self) -> None:
+        if self._runner is None:  # pragma: no cover - state checks guard this
+            raise RuntimeError(f"session {self.label!r} advanced before start()")
         try:
             self.last_tick = next(self._runner)
         except StopIteration as stop:

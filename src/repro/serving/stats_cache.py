@@ -33,6 +33,8 @@ join structure.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.optimizer.statistics import ObservedStatistics
 from repro.relational.algebra import SPJAQuery
 from repro.relational.catalog import Catalog
@@ -49,9 +51,11 @@ class SharedStatisticsCache:
         self._observed = ObservedStatistics()
         #: observed selectivity per subexpression (keyed by relation set) —
         #: a live view into the accumulated observations
-        self.selectivities: dict[frozenset, float] = self._observed.selectivities
+        self.selectivities: dict[frozenset[str], float] = (
+            self._observed.selectivities
+        )
         #: multiplicative-join blow-up factors keyed by predicate (live view)
-        self.multiplicative_factors: dict[frozenset, float] = (
+        self.multiplicative_factors: dict[frozenset[tuple[str, str]], float] = (
             self._observed.multiplicative_factors
         )
         #: discovered arrival orderings keyed by (relation, attribute) — a
@@ -198,7 +202,7 @@ class SharedStatisticsCache:
 
     def rate_outlook(
         self,
-        relations,
+        relations: Iterable[str],
         collapse_fraction: float = 0.5,
         min_expected: int = 16,
     ) -> dict[str, float]:

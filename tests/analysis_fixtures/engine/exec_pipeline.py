@@ -1,0 +1,22 @@
+"""Fixture exec-based codegen that never records its source.
+
+A pipeline compiled with ``exec`` must store the generated text on the
+result as ``__compiled_source__`` so a sharded worker can rebuild it after
+unpickling; ``build_chain`` does not, and is flagged by
+``sharding.picklability``.  ``build_chain_recorded`` shows the compliant
+shape.
+"""
+
+
+def build_chain(src: str):
+    namespace = {}
+    exec(src, {}, namespace)  # LINT: exec-no-source
+    return namespace["chain"]
+
+
+def build_chain_recorded(src: str):
+    namespace = {}
+    exec(src, {}, namespace)
+    chain = namespace["chain"]
+    chain.__compiled_source__ = src
+    return chain

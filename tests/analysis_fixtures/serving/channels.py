@@ -1,0 +1,49 @@
+"""Fixture channel registry for the shard-safety rules.
+
+Never imported — only parsed.  The registry deliberately mixes well-formed
+channels (exercised by the other serving fixtures), one stale channel whose
+attributes no longer escape, and malformed declarations.
+"""
+
+CHANNELS = (
+    SharedChannel(  # noqa: F821 - parsed, never executed
+        name="clock",
+        type_name="MiniClock",
+        discipline="single_writer",
+        rationale="one clock; only the loop advances it",
+        attributes=("clock",),
+        mutators=("advance", "wait_until", "charge"),
+        writers=("serving/loop.py::MiniLoop.run",),
+    ),
+    SharedChannel(  # noqa: F821
+        name="ledger",
+        type_name="SharedLedger",
+        discipline="cross_process_safe",
+        rationale="crosses the worker boundary whole",
+        attributes=("ledger",),
+        mutators=("absorb",),
+        writers=("serving/loop.py::MiniLoop.finish",),
+        payload_types=("HandoffSnapshot",),
+    ),
+    SharedChannel(  # noqa: F821  # LINT: stale-channel
+        name="ghost",
+        type_name="GhostPool",
+        discipline="single_writer",
+        rationale="stale: nothing escapes under this name any more",
+        attributes=("ghost_pool",),
+        mutators=("fill",),
+        writers=("serving/loop.py::MiniLoop.run",),
+    ),
+    SharedChannel(  # noqa: F821  # LINT: bad-discipline
+        name="broken",
+        type_name="Broken",
+        discipline="two_phase",
+        rationale="declared with a discipline the contract does not define",
+    ),
+    SharedChannel(  # noqa: F821  # LINT: missing-rationale
+        name="mute",
+        type_name="Mute",
+        discipline="read_only",
+        rationale="",
+    ),
+)

@@ -1,0 +1,23 @@
+"""Fixture session-isolation violations: mutating a shared channel from
+inside the call-graph closure of ``execute_incremental``.
+
+``MiniProcessor._tick`` calls a ledger mutator and ``_stash`` writes
+through the ledger attribute; both are reachable from the session entry
+point and neither is a certified writer in the fixture registry.
+"""
+
+
+class MiniProcessor:
+    def __init__(self, ledger) -> None:
+        self.ledger = ledger
+
+    def execute_incremental(self, query: str):
+        self._tick(query)
+        self._stash(query)
+        return query
+
+    def _tick(self, query: str) -> None:
+        self.ledger.absorb(query)  # LINT: isolation-rogue-absorb
+
+    def _stash(self, query: str) -> None:
+        self.ledger.totals[query] = 1  # LINT: isolation-rogue-store

@@ -1,0 +1,31 @@
+"""Fixture scheduler loop: the one sanctioned clock writer, plus rogues.
+
+``MiniLoop.run`` is certified in the fixture registry as the clock
+channel's single writer; ``EagerPolicy`` both calls a clock mutator
+directly and aliases one — each a ``sharding.clock-discipline`` violation.
+"""
+
+
+class MiniLoop:
+    def __init__(self, clock, ledger) -> None:
+        self.clock = clock
+        self.ledger = ledger
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.clock.advance(1.0)
+
+    def finish(self, snapshot) -> None:
+        self.ledger.absorb(snapshot)
+
+
+class EagerPolicy:
+    def __init__(self, clock) -> None:
+        self.clock = clock
+
+    def decide(self) -> None:
+        self.clock.wait_until(5.0)  # LINT: rogue-clock-write
+
+    def grab(self):
+        hop = self.clock.advance  # LINT: rogue-clock-alias
+        return hop

@@ -1,0 +1,35 @@
+"""Fixture hand-off payloads with picklability violations.
+
+``HandoffSnapshot`` is declared in the fixture registry as a payload of
+the ``cross_process_safe`` ledger channel; the audit walks its annotated
+fields (recursing into ``SideState``) and its ``__init__`` stores.
+``SharedLedger`` itself is clean — only its payload types are dirty.
+"""
+
+
+class SideState:
+    frames: "Iterator[bytes]"  # LINT: unpicklable-nested
+    depth: int
+
+
+class HandoffSnapshot:
+    on_flush: "Callable[[], None]"  # LINT: unpicklable-annotation
+    detail: "SideState"
+    label: str
+
+    def __init__(self, rows) -> None:
+        self.rows = list(rows)
+        self.render = lambda: self.rows  # LINT: unpicklable-lambda
+        self.stream = (row for row in self.rows)  # LINT: unpicklable-genexp
+        self.flush = self.close  # LINT: unpicklable-bound
+
+    def close(self) -> None:
+        self.rows = []
+
+
+class SharedLedger:
+    def __init__(self) -> None:
+        self.totals = {}
+
+    def absorb(self, snapshot) -> None:
+        self.totals[snapshot] = 1

@@ -1,0 +1,32 @@
+"""Fixture serving layer: session spawning with declared and rogue sharing.
+
+``MiniServer`` hands two declared channels (``clock``, ``ledger``) and one
+undeclared mutable scratch dict into the sessions it spawns;
+``MiniSession`` additionally stores a declared channel under an alias the
+registry does not list.
+"""
+
+
+class MiniSession:
+    def __init__(self, label: str, clock, ledger) -> None:
+        self.label = label
+        self.clock = clock
+        self.pool = ledger  # LINT: alias-undeclared
+        self.notes = []
+
+    def attach(self, scratch) -> None:
+        self.notes.append(len(scratch))
+
+
+class MiniServer:
+    def __init__(self, clock, ledger) -> None:
+        self.clock = clock
+        self.ledger = ledger
+        self.scratch = {}
+        self.sessions = []
+
+    def submit(self, label: str):
+        session = MiniSession(label, self.clock, self.ledger)
+        session.attach(self.scratch)  # LINT: escape-undeclared
+        self.sessions.append(session)
+        return session

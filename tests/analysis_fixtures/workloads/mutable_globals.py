@@ -1,0 +1,29 @@
+"""Fixture module-level globals: mutable, constant, and pragma-suppressed.
+
+``effects.global-mutable`` must flag the lowercase mutable binding and the
+upper-case one that the module itself mutates, exempt the never-mutated
+upper-case table and ``__all__``, and honor the inline pragma on the memo
+cache.  The pragma on ``SHARD_COUNT`` suppresses nothing and is stale.
+"""
+
+__all__ = ["lookup"]
+
+DEFAULT_WIDTHS = {"narrow": 1, "wide": 8}
+
+SHARD_COUNT = 4  # lint: ignore[effects.global-mutable]  # LINT: stale-pragma
+
+REGISTRY = {}  # LINT: mutated-constant
+
+open_requests = []  # LINT: lowercase-mutable
+
+_memo_cache = {}  # lint: ignore[effects.global-mutable]  # LINT: memo-cache
+
+
+def lookup(name: str) -> int:
+    if name not in _memo_cache:
+        _memo_cache[name] = DEFAULT_WIDTHS.get(name, 0)
+    return _memo_cache[name]
+
+
+def register(name: str, value: int) -> None:
+    REGISTRY[name] = value

@@ -12,13 +12,16 @@ Two layers:
   must cover the required corpus breadth and come back clean.
 """
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import (
+    PragmaIgnore,
     Whitelist,
     WhitelistEntry,
+    collect_pragmas,
     default_rules,
     registered_rules,
     run_lint,
@@ -31,9 +34,17 @@ from repro.analysis.codegen_audit import (
     audit_fold_source,
     audit_generated_pipelines,
 )
-from repro.analysis.runner import STALE_ENTRY_RULE, apply_rules, load_contexts
+from repro.analysis.runner import (
+    STALE_ENTRY_RULE,
+    STALE_PRAGMA_RULE,
+    apply_rules,
+    load_contexts,
+)
+from repro.analysis.sharding import parse_channel_registry
+from repro.serving import channels
 
 FIXTURE_ROOT = Path(__file__).parent / "analysis_fixtures"
+PACKAGE_ROOT = Path(__file__).parent.parent / "src" / "repro"
 
 
 def line_of(relpath: str, marker: str) -> int:
@@ -201,7 +212,11 @@ class TestWhitelist:
             )
         )
         report = run_lint(FIXTURE_ROOT, whitelist=whitelist)
-        suppressed = {(f.rule, f.path, f.symbol) for f, _ in report.suppressed}
+        suppressed = {
+            (f.rule, f.path, f.symbol)
+            for f, by in report.suppressed
+            if isinstance(by, WhitelistEntry)
+        }
         assert suppressed == {
             (
                 "determinism.wall-clock",
@@ -235,11 +250,241 @@ class TestWhitelist:
         assert stale[0].symbol == "NoSuch.symbol"
 
 
+class TestSharedChannelRule:
+    RULE = "sharding.shared-channel"
+    REGISTRY = "serving/channels.py"
+
+    def test_registry_problems_fire_at_declaration_lines(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, self.REGISTRY)
+        by_line = {f.line: f for f in hits}
+
+        bad = by_line.pop(line_of(self.REGISTRY, "bad-discipline"))
+        assert bad.symbol == "CHANNELS.broken"
+        assert "two_phase" in bad.message
+
+        mute = by_line.pop(line_of(self.REGISTRY, "missing-rationale"))
+        assert mute.symbol == "CHANNELS.mute"
+        assert "rationale" in mute.message
+
+        stale = by_line.pop(line_of(self.REGISTRY, "stale-channel"))
+        assert stale.symbol == "CHANNELS.ghost"
+        assert "ghost_pool" in stale.message
+
+        assert by_line == {}
+
+    def test_undeclared_escape_and_alias_fire(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, "serving/server.py")
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (
+                line_of("serving/server.py", "escape-undeclared"),
+                "MiniServer.submit",
+            ),
+            (
+                line_of("serving/server.py", "alias-undeclared"),
+                "MiniSession.__init__",
+            ),
+        }
+
+    def test_declared_channel_hand_offs_are_silent(self, fixture_findings):
+        # The clock and ledger escape into MiniSession on the construction
+        # line; both are declared, so only the scratch dict is flagged.
+        hits = findings_for(fixture_findings, self.RULE, "serving/server.py")
+        assert all("scratch" in f.message or "pool" in f.message for f in hits)
+
+
+class TestClockDisciplineRule:
+    RULE = "sharding.clock-discipline"
+    PATH = "serving/loop.py"
+
+    def test_rogue_mutator_call_and_alias_fire(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, self.PATH)
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (line_of(self.PATH, "rogue-clock-write"), "EagerPolicy.decide"),
+            (line_of(self.PATH, "rogue-clock-alias"), "EagerPolicy.grab"),
+        }
+
+    def test_certified_writer_is_silent(self, fixture_findings):
+        hits = [f for f in fixture_findings if f.rule == self.RULE]
+        assert all(f.symbol != "MiniLoop.run" for f in hits)
+
+
+class TestSessionIsolationRule:
+    RULE = "sharding.session-isolation"
+    PATH = "serving/isolation.py"
+
+    def test_closure_from_execute_incremental_is_checked(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, self.PATH)
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (
+                line_of(self.PATH, "isolation-rogue-absorb"),
+                "MiniProcessor._tick",
+            ),
+            (
+                line_of(self.PATH, "isolation-rogue-store"),
+                "MiniProcessor._stash",
+            ),
+        }
+        assert all("'ledger'" in f.message for f in hits)
+
+    def test_certified_writer_outside_the_closure_is_silent(
+        self, fixture_findings
+    ):
+        # MiniLoop.finish calls the same mutator but is a sanctioned writer
+        # and not reachable from execute_incremental.
+        hits = [f for f in fixture_findings if f.rule == self.RULE]
+        assert all(f.path != "serving/loop.py" for f in hits)
+
+
+class TestPicklabilityRule:
+    RULE = "sharding.picklability"
+    PATH = "serving/payloads.py"
+
+    def test_payload_fields_fire_including_recursion(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, self.PATH)
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (line_of(self.PATH, "unpicklable-annotation"), "HandoffSnapshot"),
+            (line_of(self.PATH, "unpicklable-lambda"), "HandoffSnapshot"),
+            (line_of(self.PATH, "unpicklable-genexp"), "HandoffSnapshot"),
+            (line_of(self.PATH, "unpicklable-bound"), "HandoffSnapshot"),
+            # SideState is reached transitively through HandoffSnapshot.detail.
+            (line_of(self.PATH, "unpicklable-nested"), "SideState"),
+        }
+
+    def test_the_channel_type_itself_is_clean(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, self.PATH)
+        assert all(f.symbol != "SharedLedger" for f in hits)
+
+    def test_exec_without_source_record_fires(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, self.RULE, "engine/exec_pipeline.py"
+        )
+        assert {(f.line, f.symbol) for f in hits} == {
+            (
+                line_of("engine/exec_pipeline.py", "exec-no-source"),
+                "build_chain",
+            ),
+        }
+
+
+class TestGlobalMutableRule:
+    RULE = "effects.global-mutable"
+    PATH = "workloads/mutable_globals.py"
+
+    def test_fires_on_each_marked_binding(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, self.PATH)
+        locations = {(f.line, f.symbol) for f in hits}
+        assert locations == {
+            (line_of(self.PATH, "mutated-constant"), "<module>"),
+            (line_of(self.PATH, "lowercase-mutable"), "<module>"),
+            # Raw rule output includes the pragma'd cache; the pragma only
+            # applies inside run_lint.
+            (line_of(self.PATH, "memo-cache"), "<module>"),
+        }
+
+    def test_never_mutated_constant_table_is_exempt(self, fixture_findings):
+        hits = findings_for(fixture_findings, self.RULE, self.PATH)
+        source_lines = (FIXTURE_ROOT / self.PATH).read_text().splitlines()
+        widths_line = next(
+            i + 1
+            for i, line in enumerate(source_lines)
+            if line.startswith("DEFAULT_WIDTHS")
+        )
+        assert widths_line not in {f.line for f in hits}
+
+
+class TestInlinePragmas:
+    PATH = "workloads/mutable_globals.py"
+
+    def test_pragma_suppresses_exactly_its_line(self):
+        report = run_lint(FIXTURE_ROOT, whitelist=Whitelist())
+        pragma_suppressed = {
+            (f.rule, f.path, f.line)
+            for f, by in report.suppressed
+            if isinstance(by, PragmaIgnore)
+        }
+        assert pragma_suppressed == {
+            (
+                "effects.global-mutable",
+                self.PATH,
+                line_of(self.PATH, "memo-cache"),
+            ),
+        }
+
+    def test_stale_pragma_is_reported_as_a_finding(self):
+        report = run_lint(FIXTURE_ROOT, whitelist=Whitelist())
+        stale = [f for f in report.findings if f.rule == STALE_PRAGMA_RULE]
+        assert {(f.path, f.line) for f in stale} == {
+            (self.PATH, line_of(self.PATH, "stale-pragma")),
+        }
+        assert stale[0].symbol == "<pragma>"
+
+    def test_prose_mentions_never_register(self):
+        source = (
+            '"""Suppress with a # lint: ignore[rule-name] comment."""\n'
+            "\n"
+            "x = 1  # lint: ignore[some.rule]\n"
+        )
+        pragmas = collect_pragmas("mod.py", source)
+        assert [(p.line, p.rule) for p in pragmas] == [(3, "some.rule")]
+
+
+class TestJsonReport:
+    def test_to_json_round_trips_and_has_the_documented_shape(self):
+        report = run_lint(FIXTURE_ROOT, whitelist=Whitelist())
+        payload = report.to_json()
+        assert set(payload) == {
+            "clean",
+            "files_scanned",
+            "rules_run",
+            "findings",
+            "suppressed",
+        }
+        assert payload["clean"] is False
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "symbol", "message"}
+        for entry in payload["suppressed"]:
+            assert isinstance(entry["suppressed_by"], str)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestChannelRegistry:
+    def test_real_registry_validates(self):
+        assert channels.validate_registry() == []
+        names = set(channels.registered_channels())
+        assert {"clock", "catalog", "sources", "stats_cache"} <= names
+        inventory = channels.render_inventory()
+        for name in names:
+            assert name in inventory
+
+    def test_analyzer_parses_the_real_registry(self):
+        contexts = load_contexts(PACKAGE_ROOT)
+        registry = parse_channel_registry(contexts)
+        assert registry is not None
+        assert registry.problems == []
+        parsed = {channel.name for channel in registry.channels}
+        assert parsed == set(channels.registered_channels())
+        assert all(not channel.malformed for channel in registry.channels)
+
+
 class TestRulePopulation:
     def test_every_registered_rule_fires_on_the_fixtures(self, fixture_findings):
         """Population meta-test: a rule nothing can trip is a dead rule."""
         fired = {finding.rule for finding in fixture_findings}
         assert fired == set(registered_rules())
+
+    def test_shard_audit_rule_population_is_registered(self):
+        """The shard-audit families must all be present in the registry."""
+        assert {
+            "sharding.shared-channel",
+            "sharding.session-isolation",
+            "sharding.clock-discipline",
+            "sharding.picklability",
+            "effects.global-mutable",
+        } <= set(registered_rules())
 
 
 class TestPackageGate:
@@ -257,6 +502,36 @@ class TestPackageGate:
         assert main(["repro-lint", "--no-codegen"]) == 0
         out = capsys.readouterr().out
         assert "0 finding(s)" in out
+
+    def test_cli_shard_audit_json_report(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        out_path = tmp_path / "lint.json"
+        argv = [
+            "repro-lint",
+            "--no-codegen",
+            "--shard-audit",
+            "--format",
+            "json",
+            "--report-output",
+            str(out_path),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["registry_problems"] == []
+        assert {c["name"] for c in payload["channels"]} == set(
+            channels.registered_channels()
+        )
+        # The artifact file carries the same payload CI uploads.
+        assert json.loads(out_path.read_text()) == payload
+
+    def test_cli_usage_error_exits_two(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["repro-lint", "--format", "yaml"])
+        assert exc.value.code == 2
 
 
 class TestCodegenAudit:

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import pytest
 
-from differential import generate_workload, mirror_outage_setup, run_solo_corrective
+from differential import mirror_outage_setup, run_solo_corrective
+
+from repro.workloads.differential import generate_workload
 
 from repro.adaptivity import (
     AdaptationController,

@@ -24,8 +24,6 @@ import math
 
 import pytest
 
-from differential import generate_workload
-
 from repro.adaptivity import (
     AdaptationContext,
     AdaptationController,
@@ -33,6 +31,7 @@ from repro.adaptivity import (
     SourceRatePolicy,
 )
 from repro.adaptivity.events import SourceRateEvent
+from repro.workloads.differential import generate_workload
 
 
 def _workload_with_joins(start_seed: int):

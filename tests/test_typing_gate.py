@@ -18,10 +18,13 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The strict surface: the analysis subsystem plus the two invariant-bearing
-#: modules it audits against.  Keep in sync with .github/workflows/ci.yml.
+#: The strict surface: the analysis subsystem, the serving layer it
+#: certifies for sharding (home of the channel registry), and the two
+#: invariant-bearing modules it audits against.  Keep in sync with
+#: .github/workflows/ci.yml.
 STRICT_TARGETS = (
     "src/repro/analysis",
+    "src/repro/serving",
     "src/repro/engine/cost.py",
     "src/repro/adaptivity/events.py",
 )
