@@ -5,11 +5,13 @@ mode produces bit-identical answers and simulated timings under a simulated
 clock (see ``engine/cost.py``):
 
 * :class:`WallClockRule` — wall-clock reads (``time.time``,
-  ``time.perf_counter``, ``datetime.now`` …) are forbidden in engine paths.
-  The only sanctioned uses are the documented wall-seconds *reporting*
-  fields of the executors/baselines, which never feed answers or simulated
-  time; those exact sites are whitelisted
-  (:data:`repro.analysis.whitelist.DEFAULT_WHITELIST`).
+  ``time.perf_counter``, ``datetime.now`` …) are forbidden everywhere in
+  the package except ``src/repro/io/``, the real-I/O fabric whose
+  ``wallclock`` module is the single sanctioned wall-clock surface.
+  Callers that legitimately need wall seconds (the executors' reporting
+  fields, the bench harnesses) import ``repro.io.wallclock.wall_now``
+  instead of ``time`` — a package-scope statement that replaced the old
+  per-site whitelist entries.
 
 * :class:`ModuleRandomRule` — drawing from the module-level ``random``
   generator (global, mutated by unrelated code) silently breaks per-seed
@@ -37,11 +39,11 @@ from repro.analysis.rules import (
     register_rule,
 )
 
-#: engine answer paths: directories where wall-clock reads and unordered
-#: iteration are forbidden (experiments/ is the wall-clock bench harness and
-#: is deliberately out of scope; workloads/, stats/, relational/ hold no
-#: tuple-emit code but are still covered by the module-random rule, whose
-#: scope is the whole package)
+#: engine answer paths: directories where unordered iteration is forbidden
+#: (experiments/ is the wall-clock bench harness and is deliberately out of
+#: scope; workloads/, stats/, relational/ hold no tuple-emit code but are
+#: still covered by the module-random rule, whose scope is the whole
+#: package)
 ENGINE_SCOPE = frozenset(
     {
         "engine",
@@ -52,8 +54,14 @@ ENGINE_SCOPE = frozenset(
         "core",
         "baselines",
         "integration",
+        "io",
     }
 )
+
+#: the one package where wall-clock reads are legal: the real-I/O fabric,
+#: whose ``wallclock`` module is the sanctioned surface everything else
+#: imports (see :mod:`repro.io.wallclock`)
+WALLCLOCK_PACKAGE = "io"
 
 #: attribute reads of the ``time`` module that observe the wall clock
 _TIME_CALLS = frozenset(
@@ -118,15 +126,19 @@ def _root_name(node: ast.expr) -> str | None:
 
 @register_rule
 class WallClockRule(LintRule):
-    """Forbid wall-clock reads in engine answer paths."""
+    """Forbid wall-clock reads everywhere except the real-I/O package."""
 
     name = "determinism.wall-clock"
     description = (
-        "engine paths must never read the wall clock; all timing flows "
-        "through the SimulatedClock so answers and simulated seconds are "
-        "machine-independent"
+        "only src/repro/io/ may read the wall clock; everything else "
+        "derives timing from the SimulatedClock (or imports "
+        "repro.io.wallclock for wall-seconds reporting) so answers and "
+        "simulated seconds are machine-independent"
     )
-    scope_dirs = ENGINE_SCOPE
+    scope_dirs = None  # package-wide, minus the sanctioned io/ exemption
+
+    def applies_to(self, context: RuleContext) -> bool:
+        return context.top_directory() != WALLCLOCK_PACKAGE
 
     def check_module(self, context: RuleContext) -> list[Finding]:
         imports = ImportMap.collect(
@@ -169,9 +181,10 @@ class WallClockRule(LintRule):
                         context,
                         node,
                         self.symbol,
-                        f"{what} reads the wall clock in an engine path; "
-                        "derive timing from the SimulatedClock (or whitelist "
-                        "a documented wall-seconds reporting site)",
+                        f"{what} reads the wall clock outside src/repro/io/; "
+                        "derive timing from the SimulatedClock, or import "
+                        "repro.io.wallclock for a wall-seconds reporting "
+                        "field",
                     )
                 )
 

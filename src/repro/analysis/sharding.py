@@ -83,7 +83,12 @@ IMMUTABLE_ANNOTATION_TOKENS = frozenset(
     {"int", "float", "str", "bool", "bytes", "None", "Optional", ""}
 )
 
-#: type names that cannot cross a process boundary via pickle
+#: type names that cannot cross a process boundary via pickle.  The second
+#: block is the real-I/O fabric's resources: sockets, locks, threads, file
+#: handles, live DB connections, and the transport/envelope objects that own
+#: them — declaring any of these in a ``cross_process_safe`` channel's
+#: payload family is a finding (sockets don't pickle; each worker must
+#: rebuild its own envelopes from picklable backend descriptions).
 UNPICKLABLE_TYPE_NAMES = frozenset(
     {
         "AsyncGenerator",
@@ -100,6 +105,24 @@ UNPICKLABLE_TYPE_NAMES = frozenset(
         "SourceCursor",
         "TextIO",
         "TracebackType",
+        # real-I/O fabric resources (repro.io)
+        "Condition",
+        "Connection",
+        "Event",
+        "FixtureServer",
+        "HTTPConnection",
+        "HTTPResponse",
+        "InjectedTransport",
+        "Lock",
+        "Queue",
+        "RLock",
+        "ResilientSource",
+        "RowReader",
+        "Semaphore",
+        "Thread",
+        "ThreadedPrefetchSource",
+        "Transport",
+        "socket",
     }
 )
 
@@ -414,7 +437,7 @@ class SharedChannelRule(LintRule):
         "and malformed declarations are findings"
     )
     project_wide = True
-    scope_dirs = frozenset({"serving", "core", "adaptivity", "engine"})
+    scope_dirs = frozenset({"serving", "core", "adaptivity", "engine", "io"})
 
     def check_project(self, contexts: list[RuleContext]) -> list[Finding]:
         registry = parse_channel_registry(contexts)
@@ -617,7 +640,7 @@ class SessionIsolationRule(LintRule):
     )
     project_wide = True
     scope_dirs = frozenset(
-        {"serving", "core", "adaptivity", "engine", "optimizer", "sources"}
+        {"serving", "core", "adaptivity", "engine", "optimizer", "sources", "io"}
     )
 
     def check_project(self, contexts: list[RuleContext]) -> list[Finding]:

@@ -1,11 +1,11 @@
 """The project whitelist: every deliberate rule violation, with its reason.
 
-This is the complete, reviewed list of sites allowed to trip the analyzer.
-All of them are the same pattern: an executor's top-level ``execute`` entry
-point brackets the run with ``time.perf_counter()`` to fill the
-``wall_seconds`` *reporting* field of its result object.  Wall seconds are
-diagnostic output only — they never feed answers, simulated time, plan
-decisions or adaptation events, so determinism of results is unaffected.
+The list is **empty**. It used to carry six ``determinism.wall-clock``
+entries for the executors' bracketed ``perf_counter()`` pairs feeding their
+``wall_seconds`` reporting fields; those sites now import ``wall_now`` from
+:mod:`repro.io.wallclock` — the single sanctioned wall-clock surface — and
+the rule itself exempts exactly the ``src/repro/io/`` package, so there is
+nothing left to whitelist.
 
 Additions here require the same scrutiny as a production code change: the
 whitelist matches on exact ``(rule, path, symbol)`` and the runner reports
@@ -17,49 +17,7 @@ from __future__ import annotations
 
 from repro.analysis.findings import Whitelist, WhitelistEntry
 
-_WALL_SECONDS_REASON = (
-    "documented wall-seconds reporting field; bracketed perf_counter() pair "
-    "feeds diagnostics only, never answers or simulated time"
-)
-
-DEFAULT_WHITELIST_ENTRIES: tuple[WhitelistEntry, ...] = (
-    WhitelistEntry(
-        rule="determinism.wall-clock",
-        path="engine/executor.py",
-        symbol="PullExecutor.execute",
-        reason=_WALL_SECONDS_REASON,
-    ),
-    WhitelistEntry(
-        rule="determinism.wall-clock",
-        path="baselines/plan_partitioning.py",
-        symbol="PlanPartitioningExecutor.execute",
-        reason=_WALL_SECONDS_REASON,
-    ),
-    WhitelistEntry(
-        rule="determinism.wall-clock",
-        path="baselines/static_executor.py",
-        symbol="StaticExecutor.execute",
-        reason=_WALL_SECONDS_REASON,
-    ),
-    WhitelistEntry(
-        rule="determinism.wall-clock",
-        path="core/complementary.py",
-        symbol="PipelinedHashJoinBaseline.execute",
-        reason=_WALL_SECONDS_REASON,
-    ),
-    WhitelistEntry(
-        rule="determinism.wall-clock",
-        path="core/complementary.py",
-        symbol="ComplementaryJoinPair.execute",
-        reason=_WALL_SECONDS_REASON,
-    ),
-    WhitelistEntry(
-        rule="determinism.wall-clock",
-        path="core/corrective.py",
-        symbol="CorrectiveQueryProcessor.execute_incremental",
-        reason=_WALL_SECONDS_REASON,
-    ),
-)
+DEFAULT_WHITELIST_ENTRIES: tuple[WhitelistEntry, ...] = ()
 
 
 def default_whitelist() -> Whitelist:

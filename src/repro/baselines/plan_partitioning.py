@@ -13,12 +13,12 @@ execution (which is what Figure 2 shows for queries 10 and 10A).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.adaptivity import AdaptationController
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
 from repro.engine.pipelined import PipelinedExecutor
+from repro.io.wallclock import wall_now
 from repro.optimizer.enumerator import Optimizer
 from repro.optimizer.plans import JoinTree
 from repro.relational.algebra import SPJAQuery
@@ -173,7 +173,7 @@ class PlanPartitioningExecutor:
     def execute(self, query: SPJAQuery) -> PlanPartitioningReport:
         metrics = ExecutionMetrics()
         clock = SimulatedClock(self.cost_model)
-        wall_start = time.perf_counter()
+        wall_start = wall_now()
         run = self.adaptation.begin(query, self.catalog, sources=self.sources)
 
         stage1_relations = self._stage1_relations(query)
@@ -199,7 +199,7 @@ class PlanPartitioningExecutor:
                 stage1_cardinality=plan.output_count,
                 metrics=metrics,
                 simulated_seconds=clock.now,
-                wall_seconds=time.perf_counter() - wall_start,
+                wall_seconds=wall_now() - wall_start,
                 details={"degenerate": True, "adaptation": run.describe()},
             )
 
@@ -263,7 +263,7 @@ class PlanPartitioningExecutor:
             stage1_cardinality=len(stage1_relation),
             metrics=metrics,
             simulated_seconds=clock.now,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=wall_now() - wall_start,
             details={
                 "stage1_relations": stage1_relations,
                 "stage2_relations": stage2_query.relations,

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.adaptivity import AdaptationController
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
 from repro.engine.pipelined import PipelinedExecutor
+from repro.io.wallclock import wall_now
 from repro.optimizer.enumerator import Optimizer
 from repro.optimizer.plans import JoinTree
 from repro.relational.algebra import SPJAQuery
@@ -95,9 +95,9 @@ class StaticExecutor:
             batch_size=self.batch_size,
             engine_mode=self.engine_mode,
         )
-        wall_start = time.perf_counter()
+        wall_start = wall_now()
         rows, plan = executor.execute(query, tree, clock=clock, metrics=metrics)
-        wall_seconds = time.perf_counter() - wall_start
+        wall_seconds = wall_now() - wall_start
         schema = None
         if query.aggregation is None:
             schema = plan.output_schema

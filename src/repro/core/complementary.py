@@ -22,13 +22,13 @@ bars of Figure 5.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.router import PriorityQueueReorderer
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock, WorkProfile
 from repro.engine.pipelined import SourceCursor
 from repro.engine.state.hash_table import HashTableState
+from repro.io.wallclock import wall_now
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
@@ -151,7 +151,7 @@ class PipelinedHashJoinBaseline:
         metrics = driver.metrics
         left_table = HashTableState(driver.left_schema, driver.left_key)
         right_table = HashTableState(driver.right_schema, driver.right_key)
-        wall_start = time.perf_counter()
+        wall_start = wall_now()
         while True:
             side = driver.next_side()
             if side is None:
@@ -180,7 +180,7 @@ class PipelinedHashJoinBaseline:
             },
             metrics=metrics,
             simulated_seconds=driver.clock.now,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=wall_now() - wall_start,
             details={"outputs": driver.outputs if driver.collect_outputs else None},
         )
 
@@ -329,7 +329,7 @@ class ComplementaryJoinPair:
 
     def execute(self) -> ComplementaryJoinReport:
         driver = self.driver
-        wall_start = time.perf_counter()
+        wall_start = wall_now()
         while True:
             side = driver.next_side()
             if side is None:
@@ -362,7 +362,7 @@ class ComplementaryJoinPair:
             routed_by_component=dict(self.routed),
             metrics=driver.metrics,
             simulated_seconds=driver.clock.now,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=wall_now() - wall_start,
             details=details,
         )
 

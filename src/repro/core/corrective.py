@@ -20,7 +20,6 @@ new policy requires no change here.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.adaptivity import (
@@ -38,6 +37,7 @@ from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
 from repro.engine.operators.aggregate import GroupAccumulator
 from repro.engine.pipelined import PipelinedPlan, SourceCursor
 from repro.engine.state.registry import StateRegistry
+from repro.io.wallclock import wall_now
 from repro.optimizer.enumerator import Optimizer
 from repro.optimizer.plans import JoinTree
 from repro.optimizer.statistics import ObservedStatistics
@@ -346,7 +346,7 @@ class CorrectiveQueryProcessor:
         :class:`~repro.serving.server.QueryServer` does.  The default
         (blocking) mode stalls the private clock exactly like :meth:`execute`.
         """
-        wall_start = time.perf_counter()
+        wall_start = wall_now()
         metrics = ExecutionMetrics()
         clock = clock if clock is not None else SimulatedClock(self.cost_model)
         started_simulated = clock.now
@@ -564,7 +564,7 @@ class CorrectiveQueryProcessor:
             rows = collected
             schema = canonical_schema if canonical_schema is not None else Schema(())
 
-        wall_seconds = time.perf_counter() - wall_start
+        wall_seconds = wall_now() - wall_start
         own_wait_seconds += clock.wait_time - wait_mark
         reoptimizer = self.reoptimizer
         return CorrectiveExecutionReport(

@@ -13,7 +13,6 @@ processing lives in :mod:`repro.engine.pipelined` and :mod:`repro.core`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.engine.cost import CostModel, ExecutionMetrics, SimulatedClock
@@ -24,6 +23,7 @@ from repro.engine.operators.pipelined_hash import SymmetricHashJoin
 from repro.engine.operators.hash_join import HybridHashJoin
 from repro.engine.operators.project import ProjectOp
 from repro.engine.operators.scan import Scan
+from repro.io.wallclock import wall_now
 from repro.optimizer.plans import JoinTree, PhysicalPlan, PreAggPoint
 from repro.relational.algebra import SPJAQuery
 from repro.relational.expressions import (
@@ -242,9 +242,9 @@ class PullExecutor:
         metrics = metrics if metrics is not None else ExecutionMetrics()
         clock = clock if clock is not None else SimulatedClock(self.cost_model)
         root = self.build(plan, metrics, clock)
-        start = time.perf_counter()
+        start = wall_now()
         rows = root.run_to_completion()
-        wall = time.perf_counter() - start
+        wall = wall_now() - start
         clock.charge_metrics(metrics)
         return ExecutionResult(
             rows=rows,

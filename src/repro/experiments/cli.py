@@ -13,6 +13,7 @@ Regenerate any of the paper's tables/figures without going through pytest::
     python -m repro.experiments.cli engine-bench  # tuple vs batched vs compiled
     python -m repro.experiments.cli rate-bench    # source-rate adaptivity
     python -m repro.experiments.cli resilience-bench  # failover/backpressure/seeding
+    python -m repro.experiments.cli io-bench      # real sockets, injected faults
     python -m repro.experiments.cli all           # every paper figure/table
 
 Use ``--scale`` to trade runtime for fidelity (default 0.003), ``--seed``
@@ -38,6 +39,12 @@ engine modes), admission backpressure under a flaky serving pool (p95
 must improve), and rate-seeded initial plan choice for a repeat query —
 verifying in every scenario that the resilient configuration's answers
 are identical to its baseline twin (``--bench-output BENCH_pr6.json``).
+``io-bench`` is the one wall-clock real-I/O mode: it replays seeded
+workloads over the local HTTP fixture server under injected faults
+(resets, outages, truncations, delays, 5xx flaps) through the resilience
+envelope on real sockets, gating on exact delivery for every stream and
+on an engine run whose answers match the same engine over local relations
+(``--bench-output BENCH_pr9.json``).
 """
 
 from __future__ import annotations
@@ -321,6 +328,45 @@ def run_resilience_bench(
     )
 
 
+def run_io_bench(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    output: str | None = None,
+) -> None:
+    from repro.experiments.io_bench import io_bench_rows, run_io_benchmark
+
+    result = run_io_benchmark(scale_factor=scale, seed=seed)
+    _print(
+        "Real I/O — faulted fixture-server replay through the resilience envelope",
+        format_table(io_bench_rows(result)),
+    )
+    # Write the record before the gates: on a failure the JSON is the
+    # primary diagnostic.
+    if output is not None:
+        path = pathlib.Path(output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbenchmark record written to {path}")
+    if not result["faults_injected"]:
+        raise SystemExit(
+            "io-bench acceptance FAILED: the seeded plans injected no faults"
+        )
+    if not result["all_exact"]:
+        raise SystemExit(
+            "io-bench acceptance FAILED: a faulted stream dropped or "
+            "duplicated rows"
+        )
+    if not result["verified_vs_local"]:
+        raise SystemExit(
+            "io-bench verification FAILED: the engine run over faulted HTTP "
+            "sources disagrees with the same engine over local relations"
+        )
+    print(
+        "every faulted stream delivered exactly; the engine's answers over "
+        "real faulted sockets match the local-relation run"
+    )
+
+
 def run_engine_bench(
     scale: float,
     seed: int,
@@ -393,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
             "engine-bench",
             "rate-bench",
             "resilience-bench",
+            "io-bench",
             "repro-lint",
             "all",
         ],
@@ -453,7 +500,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "serve-bench / order-bench / engine-bench / rate-bench / "
-            "resilience-bench: write the JSON benchmark record to this path"
+            "resilience-bench / io-bench: write the JSON benchmark record "
+            "to this path"
         ),
     )
     parser.add_argument(
@@ -616,6 +664,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.experiment == "resilience-bench":
         run_resilience_bench(
+            args.scale,
+            args.seed,
+            args.batch_size,
+            output=args.bench_output,
+        )
+    elif args.experiment == "io-bench":
+        run_io_bench(
             args.scale,
             args.seed,
             args.batch_size,

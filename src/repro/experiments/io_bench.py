@@ -1,0 +1,194 @@
+"""Real-I/O wall-clock benchmark (``io-bench``).
+
+The one mode that *really* does I/O: seeded differential workloads are
+materialized behind the local HTTP fixture server with seeded fault plans
+(delays, connection resets, outages, truncated payloads, 5xx flaps), and
+each relation is streamed end-to-end through an
+:class:`~repro.io.envelope.ResilientSource` on a
+:class:`~repro.io.envelope.WallTimeline` — real sockets, real sleeps, real
+retries.  Two gates:
+
+* **exact delivery** — every faulted stream must deliver exactly the
+  relation's rows: no duplicates, no drops, for every workload;
+* **engine verification** — one corrective engine run over the faulted
+  HTTP sources must produce the identical result multiset as the same
+  engine over plain local relations.
+
+The record also reports envelope telemetry (connects, retries, resumes,
+injected faults, backoff totals) and per-workload wall milliseconds, and
+is uploaded from CI as ``BENCH_pr9.json``.  The simulated-clock
+differential suites stay bit-identical by construction — this bench is
+deliberately the only place wall time enters the repository's numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.corrective import CorrectiveQueryProcessor
+from repro.experiments.common import DEFAULT_SEED
+from repro.io.backends import HTTPTransport
+from repro.io.envelope import ResilientSource, WallTimeline
+from repro.io.faults import FaultPlan
+from repro.io.fixture_server import FixtureServer
+from repro.io.wallclock import wall_now
+from repro.workloads.differential import generate_workload
+
+#: number of seeded workloads the bench replays over the fixture server
+DEFAULT_WORKLOADS = 8
+
+#: per-stream read/connect deadlines (seconds); generous — the fixture
+#: server is local — but finite, so a wedged socket fails the gate instead
+#: of hanging the bench
+TRANSPORT_DEADLINE = 10.0
+
+
+def _envelope(name, url, schema, promised_rate=None) -> ResilientSource:
+    transport = HTTPTransport(
+        name,
+        url,
+        schema,
+        connect_timeout=TRANSPORT_DEADLINE,
+        read_timeout=TRANSPORT_DEADLINE,
+    )
+    return ResilientSource(
+        transport, timeline=WallTimeline(), promised_rate=promised_rate
+    )
+
+
+def _stream_workload(workload, server) -> dict:
+    """Materialize one workload's relations and stream them under faults."""
+    plans = {}
+    envelopes = {}
+    for index, (name, relation) in enumerate(workload.relations.items()):
+        plan = FaultPlan.seeded(workload.seed * 1009 + index, len(relation.rows))
+        url = server.add_relation(f"w{workload.seed}_{name}", relation, plan)
+        plans[name] = plan
+        envelopes[name] = _envelope(name, url, relation.schema)
+
+    started = wall_now()
+    exact = True
+    telemetry = Counter()
+    for name, relation in workload.relations.items():
+        delivered = [row for row, _t in envelopes[name].open_stream()]
+        if delivered != relation.rows:
+            exact = False
+        telemetry.update(
+            {
+                key: value
+                for key, value in envelopes[name].telemetry.as_dict().items()
+                if key != "backoff_seconds"
+            }
+        )
+        telemetry["backoff_ms"] += int(
+            envelopes[name].telemetry.backoff_seconds * 1000
+        )
+    wall_ms = (wall_now() - started) * 1000.0
+
+    return {
+        "seed": workload.seed,
+        "relations": len(workload.relations),
+        "rows": sum(len(r.rows) for r in workload.relations.values()),
+        "faults_planned": sum(plan.fault_count() for plan in plans.values()),
+        "exact_delivery": exact,
+        "wall_ms": round(wall_ms, 2),
+        "telemetry": dict(telemetry),
+    }
+
+
+def _engine_verification(seed: int, server) -> dict:
+    """One corrective run over faulted HTTP sources vs local relations."""
+    workload = generate_workload(seed)
+
+    def run(sources) -> tuple[Counter, float]:
+        report = CorrectiveQueryProcessor(
+            workload.catalog(),
+            sources,
+            polling_interval_seconds=0.002,
+            batch_size=64,
+        ).execute(workload.query)
+        return Counter(map(tuple, report.rows)), report.simulated_seconds
+
+    local_multiset, _ = run(dict(workload.relations))
+
+    sources: dict[str, object] = {}
+    total_faults = 0
+    for index, (name, relation) in enumerate(workload.relations.items()):
+        plan = FaultPlan.seeded(seed * 7919 + index, len(relation.rows))
+        total_faults += plan.fault_count()
+        url = server.add_relation(f"engine_{name}", relation, plan)
+        sources[name] = _envelope(name, url, relation.schema)
+    http_multiset, _ = run(sources)
+
+    return {
+        "seed": seed,
+        "faults_planned": total_faults,
+        "verified_vs_local": http_multiset == local_multiset,
+        "result_rows": sum(local_multiset.values()),
+    }
+
+
+def run_io_benchmark(
+    scale_factor: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    workloads: int = DEFAULT_WORKLOADS,
+) -> dict:
+    """Replay ``workloads`` seeded workloads over the faulted fixture server.
+
+    ``scale_factor`` is accepted for CLI uniformity; the workload sizes are
+    fixed by the seeded differential generator.
+    """
+    streams = []
+    with FixtureServer() as server:
+        for offset in range(workloads):
+            workload = generate_workload(seed % 1000 + offset)
+            streams.append(_stream_workload(workload, server))
+        engine = _engine_verification(seed % 1000, server)
+
+    all_exact = all(entry["exact_delivery"] for entry in streams)
+    total_faults = sum(entry["faults_planned"] for entry in streams)
+    return {
+        "benchmark": "io_bench",
+        "seed": seed,
+        "workloads": len(streams),
+        "streams": streams,
+        "engine": engine,
+        "total_faults_planned": total_faults,
+        "faults_injected": total_faults > 0,
+        "all_exact": all_exact,
+        "verified_vs_local": engine["verified_vs_local"],
+        "wall_ms_total": round(sum(entry["wall_ms"] for entry in streams), 2),
+    }
+
+
+def io_bench_rows(result: dict) -> list[dict[str, object]]:
+    """One row per replayed workload for ``format_table``."""
+    rows: list[dict[str, object]] = []
+    for entry in result["streams"]:
+        telemetry = entry["telemetry"]
+        rows.append(
+            {
+                "seed": entry["seed"],
+                "relations": entry["relations"],
+                "rows": entry["rows"],
+                "faults": entry["faults_planned"],
+                "connects": telemetry.get("connects", 0),
+                "resumes": telemetry.get("resumes", 0),
+                "exact": entry["exact_delivery"],
+                "wall_ms": entry["wall_ms"],
+            }
+        )
+    engine = result["engine"]
+    rows.append(
+        {
+            "seed": engine["seed"],
+            "relations": "engine",
+            "rows": engine["result_rows"],
+            "faults": engine["faults_planned"],
+            "connects": "-",
+            "resumes": "-",
+            "exact": engine["verified_vs_local"],
+            "wall_ms": "-",
+        }
+    )
+    return rows

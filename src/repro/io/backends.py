@@ -1,0 +1,468 @@
+"""Real backends behind the resilience envelope.
+
+Each transport adapts one kind of real data access — CSV files, JSON-lines
+files, DB-API queries, HTTP endpoints — to a single tiny contract, modeled
+on pygrametl's iterable dict-row datasources but offset-addressable so the
+envelope can resume mid-stream:
+
+* ``Transport.open(offset)`` establishes a fresh connection positioned at
+  the given global row offset and returns a :class:`RowReader`;
+* ``RowReader.read_rows(max_rows)`` returns the next chunk of engine tuples,
+  where an **empty list means verified end-of-stream** — a reader that
+  cannot prove the stream is complete must raise
+  :class:`~repro.io.errors.TruncatedPayloadError` instead of returning
+  ``[]``, because a silent early EOF is indistinguishable from row loss.
+
+Values are coerced back to engine types from the schema's informal type tags
+(``int``/``float``/``str``/``date``); the ``any`` tag falls back to literal
+parsing (int, then float, then str), which round-trips every generated
+workload exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import http.client
+import json
+import socket
+import sqlite3
+import urllib.parse
+from typing import Callable, Protocol, Sequence
+
+from repro.io.errors import (
+    ConnectError,
+    ReadError,
+    TransportError,
+    TransportTimeout,
+    TruncatedPayloadError,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+#: JSON key of the completeness marker the HTTP wire protocol ends with;
+#: its value is the number of rows served since the requested offset
+END_MARKER_KEY = "__end__"
+
+
+def _parse_literal(text: str) -> object:
+    """Best-effort typed parse for ``any``-tagged columns."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def converters_for(schema: Schema) -> tuple[Callable[[str], object], ...]:
+    """Per-column text → value coercers derived from the schema's type tags."""
+    out: list[Callable[[str], object]] = []
+    for attribute in schema.attributes:
+        tag = attribute.type_name
+        if tag == "int":
+            out.append(int)
+        elif tag == "float":
+            out.append(float)
+        elif tag in ("str", "date"):
+            out.append(str)
+        else:
+            out.append(_parse_literal)
+    return tuple(out)
+
+
+class RowReader(Protocol):
+    """One open, offset-positioned connection's row stream."""
+
+    def read_rows(self, max_rows: int) -> list[tuple[object, ...]]:
+        """Next chunk of rows; ``[]`` only at *verified* end-of-stream."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying handle (idempotent)."""
+        ...
+
+
+class Transport:
+    """Base class for offset-addressable real backends."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+
+    def open(self, offset: int) -> RowReader:
+        """A fresh connection positioned at global row ``offset``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line backend description for telemetry and bench reports."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class _ListReader:
+    """RowReader over rows materialized at open time (file/DB backends)."""
+
+    def __init__(self, rows: list[tuple[object, ...]]) -> None:
+        self._rows = rows
+        self._position = 0
+
+    def read_rows(self, max_rows: int) -> list[tuple[object, ...]]:
+        chunk = self._rows[self._position : self._position + max_rows]
+        self._position += len(chunk)
+        return chunk
+
+    def close(self) -> None:
+        self._rows = []
+
+
+class CSVFileTransport(Transport):
+    """Rows from a header-first CSV file (pygrametl ``CSVSource`` shape)."""
+
+    def __init__(
+        self, name: str, path: str, schema: Schema, delimiter: str = ","
+    ) -> None:
+        super().__init__(name, schema)
+        self.path = path
+        self.delimiter = delimiter
+        self._converters = converters_for(schema)
+
+    def open(self, offset: int) -> RowReader:
+        width = len(self.schema.attributes)
+        try:
+            with open(self.path, "r", encoding="utf-8", newline="") as handle:
+                reader = csv.reader(handle, delimiter=self.delimiter)
+                header = next(reader, None)
+                if header is None or len(header) != width:
+                    raise TruncatedPayloadError(
+                        f"{self.path}: missing or short CSV header"
+                    )
+                rows: list[tuple[object, ...]] = []
+                for values in reader:
+                    if len(values) != width:
+                        # a partial final record: the file was cut mid-row
+                        raise TruncatedPayloadError(
+                            f"{self.path}: partial CSV record "
+                            f"({len(values)}/{width} fields)"
+                        )
+                    rows.append(
+                        tuple(
+                            convert(value)
+                            for convert, value in zip(self._converters, values)
+                        )
+                    )
+        except OSError as exc:
+            raise ConnectError(f"{self.path}: {exc}") from exc
+        return _ListReader(rows[offset:])
+
+    def describe(self) -> str:
+        return f"csv:{self.path}"
+
+
+class JSONLinesTransport(Transport):
+    """Rows from a JSON-lines file (one JSON array per line)."""
+
+    def __init__(self, name: str, path: str, schema: Schema) -> None:
+        super().__init__(name, schema)
+        self.path = path
+
+    def open(self, offset: int) -> RowReader:
+        width = len(self.schema.attributes)
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                rows: list[tuple[object, ...]] = []
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    try:
+                        values = json.loads(line)
+                    except ValueError as exc:
+                        # a partial final line: the file was cut mid-record
+                        raise TruncatedPayloadError(
+                            f"{self.path}: partial JSON record"
+                        ) from exc
+                    if not isinstance(values, list) or len(values) != width:
+                        raise TruncatedPayloadError(
+                            f"{self.path}: malformed JSON record"
+                        )
+                    rows.append(tuple(values))
+        except OSError as exc:
+            raise ConnectError(f"{self.path}: {exc}") from exc
+        return _ListReader(rows[offset:])
+
+    def describe(self) -> str:
+        return f"jsonl:{self.path}"
+
+
+class _DBAPICursor(Protocol):
+    """The sliver of PEP 249 the transport needs."""
+
+    def execute(self, sql: str) -> object: ...
+
+    def fetchmany(self, size: int) -> Sequence[Sequence[object]]: ...
+
+
+class _DBAPIConnection(Protocol):
+    def cursor(self) -> _DBAPICursor: ...
+
+    def close(self) -> None: ...
+
+
+class _DBAPIReader:
+    """RowReader over an open DB-API cursor (closes its connection)."""
+
+    def __init__(self, connection: _DBAPIConnection, cursor: _DBAPICursor) -> None:
+        self._connection: _DBAPIConnection | None = connection
+        self._cursor = cursor
+
+    def read_rows(self, max_rows: int) -> list[tuple[object, ...]]:
+        try:
+            fetched = self._cursor.fetchmany(max_rows)
+        except Exception as exc:  # DB-API error classes are per-driver
+            raise ReadError(f"DB-API fetch failed: {exc}") from exc
+        return [tuple(values) for values in fetched]
+
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            self._connection = None
+
+
+class DBAPITransport(Transport):
+    """Rows from a DB-API query (pygrametl ``SQLSource`` shape).
+
+    ``connect`` returns a fresh PEP 249 connection per open; the query's
+    result order must be deterministic (``ORDER BY`` a key) so offsets name
+    the same rows across reconnects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        connect: Callable[[], _DBAPIConnection],
+        query: str,
+        schema: Schema,
+    ) -> None:
+        super().__init__(name, schema)
+        self.connect = connect
+        self.query = query
+
+    def open(self, offset: int) -> RowReader:
+        try:
+            connection = self.connect()
+        except Exception as exc:
+            raise ConnectError(f"DB-API connect failed: {exc}") from exc
+        try:
+            cursor = connection.cursor()
+            cursor.execute(self.query)
+            skipped = 0
+            while skipped < offset:
+                chunk = cursor.fetchmany(min(256, offset - skipped))
+                if not chunk:
+                    break
+                skipped += len(chunk)
+        except Exception as exc:
+            try:
+                connection.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            raise ConnectError(f"DB-API query failed: {exc}") from exc
+        return _DBAPIReader(connection, cursor)
+
+    def describe(self) -> str:
+        return f"dbapi:{self.query!r}"
+
+
+class _HTTPReader:
+    """RowReader over one streaming HTTP response.
+
+    The wire protocol is JSON lines: one JSON array per row, terminated by a
+    ``{"__end__": n}`` marker counting the rows served since the requested
+    offset. A response that ends without the marker (or whose count
+    disagrees) raises :class:`TruncatedPayloadError`; socket-level failures
+    mid-body raise :class:`ReadError`.
+    """
+
+    def __init__(
+        self,
+        connection: http.client.HTTPConnection,
+        response: http.client.HTTPResponse,
+        width: int,
+    ) -> None:
+        self._connection: http.client.HTTPConnection | None = connection
+        self._response = response
+        self._width = width
+        self._delivered = 0
+        self._complete = False
+        self._pending: TransportError | None = None
+
+    def read_rows(self, max_rows: int) -> list[tuple[object, ...]]:
+        if self._pending is not None:
+            pending, self._pending = self._pending, None
+            raise pending
+        if self._complete:
+            return []
+        rows: list[tuple[object, ...]] = []
+        try:
+            self._fill(rows, max_rows)
+        except TransportError as exc:
+            if not rows:
+                raise
+            # deliver the pre-fault rows now so progress is never discarded;
+            # the fault surfaces on the next call and the envelope resumes
+            # from the advanced offset
+            self._pending = exc
+        self._delivered += len(rows)
+        if self._complete:
+            self.close()
+        return rows
+
+    def _fill(self, rows: list[tuple[object, ...]], max_rows: int) -> None:
+        while len(rows) < max_rows:
+            try:
+                line = self._response.readline()
+            except socket.timeout as exc:
+                raise TransportTimeout(f"HTTP read timed out: {exc}") from exc
+            except (http.client.HTTPException, OSError, ValueError) as exc:
+                raise ReadError(f"HTTP stream died mid-body: {exc}") from exc
+            if not line:
+                raise TruncatedPayloadError(
+                    "HTTP stream ended without its completeness marker"
+                )
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except ValueError as exc:
+                raise TruncatedPayloadError(
+                    "HTTP stream cut mid-record"
+                ) from exc
+            if isinstance(payload, dict):
+                served = payload.get(END_MARKER_KEY)
+                if served != self._delivered + len(rows):
+                    raise TruncatedPayloadError(
+                        f"HTTP completeness marker disagrees: marker={served} "
+                        f"delivered={self._delivered + len(rows)}"
+                    )
+                self._complete = True
+                return
+            if not isinstance(payload, list) or len(payload) != self._width:
+                raise TruncatedPayloadError("HTTP stream sent a malformed row")
+            rows.append(tuple(payload))
+
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            self._connection = None
+
+
+class HTTPTransport(Transport):
+    """Rows from an HTTP endpoint speaking the JSON-lines wire protocol.
+
+    ``GET <url>?offset=N`` must stream the rows from global offset ``N``
+    followed by the ``{"__end__": served}`` marker —
+    :class:`~repro.io.fixture_server.FixtureServer` is the reference
+    implementation. 5xx responses surface as :class:`ConnectError` (the
+    retryable "flap" shape); connect and read deadlines are separate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        url: str,
+        schema: Schema,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 5.0,
+    ) -> None:
+        super().__init__(name, schema)
+        self.url = url
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+
+    def open(self, offset: int) -> RowReader:
+        parts = urllib.parse.urlsplit(self.url)
+        if parts.scheme != "http" or parts.hostname is None:
+            raise ConnectError(f"unsupported URL {self.url!r}")
+        connection = http.client.HTTPConnection(
+            parts.hostname, parts.port or 80, timeout=self.connect_timeout
+        )
+        try:
+            query = urllib.parse.urlencode({"offset": offset})
+            connection.request("GET", f"{parts.path}?{query}")
+            response = connection.getresponse()
+        except socket.timeout as exc:
+            connection.close()
+            raise TransportTimeout(f"HTTP connect timed out: {exc}") from exc
+        except (http.client.HTTPException, OSError) as exc:
+            connection.close()
+            raise ConnectError(f"HTTP connect failed: {exc}") from exc
+        if response.status != 200:
+            connection.close()
+            raise ConnectError(f"HTTP status {response.status} from {self.url}")
+        if connection.sock is not None:
+            connection.sock.settimeout(self.read_timeout)
+        return _HTTPReader(connection, response, len(self.schema.attributes))
+
+    def describe(self) -> str:
+        return f"http:{self.url}"
+
+
+# ---------------------------------------------------------------------------
+# Materializers: write a Relation to each backend's native format, used by
+# the differential suite and io-bench to stage real data for the transports.
+# ---------------------------------------------------------------------------
+
+
+def write_csv(path: str, relation: Relation, delimiter: str = ",") -> None:
+    """Write ``relation`` as a header-first CSV file."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow([attribute.name for attribute in relation.schema.attributes])
+        for row in relation.rows:
+            writer.writerow(list(row))
+
+
+def write_jsonl(path: str, relation: Relation) -> None:
+    """Write ``relation`` as JSON lines (one array per row)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in relation.rows:
+            handle.write(json.dumps(list(row)) + "\n")
+
+
+def write_sqlite(path: str, relation: Relation) -> str:
+    """Materialize ``relation`` into a SQLite file; returns the read query.
+
+    Rows are stored with an explicit ``rowpos`` key so the read-back query's
+    order is deterministic and offsets name the same rows on every connect.
+    """
+    columns = ", ".join(
+        f'"{attribute.name}"' for attribute in relation.schema.attributes
+    )
+    connection = sqlite3.connect(path)
+    try:
+        connection.execute(
+            f'CREATE TABLE IF NOT EXISTS "{relation.name}" '
+            f"(rowpos INTEGER PRIMARY KEY, {columns})"
+        )
+        connection.execute(f'DELETE FROM "{relation.name}"')
+        placeholders = ", ".join(
+            ["?"] * (len(relation.schema.attributes) + 1)
+        )
+        connection.executemany(
+            f'INSERT INTO "{relation.name}" VALUES ({placeholders})',
+            [(position, *row) for position, row in enumerate(relation.rows)],
+        )
+        connection.commit()
+    finally:
+        connection.close()
+    return f'SELECT {columns} FROM "{relation.name}" ORDER BY rowpos'

@@ -1,0 +1,41 @@
+"""Transport-layer error taxonomy for the real-I/O fabric.
+
+Every failure a backend can surface is normalized to one of these types so
+the resilience envelope can make retry decisions without knowing which
+backend (file, DB-API, HTTP socket) raised. The taxonomy mirrors the fault
+plan's kinds: connection-level failures (`ConnectError`, including 5xx
+flaps), mid-stream failures (`ReadError` — resets, aborted sockets),
+payloads that end without their completeness marker
+(`TruncatedPayloadError`), deadline overruns (`TransportTimeout`), and the
+envelope's own give-up signal (`CircuitOpenError`).
+"""
+
+from __future__ import annotations
+
+
+class TransportError(Exception):
+    """Base class for every transport-layer failure."""
+
+
+class ConnectError(TransportError):
+    """Opening a connection to the backend failed (includes HTTP 5xx)."""
+
+
+class ReadError(TransportError):
+    """The connection died mid-stream (reset, aborted socket, short read)."""
+
+
+class TruncatedPayloadError(TransportError):
+    """The stream ended cleanly but without its completeness marker.
+
+    A reader must never treat this as EOF: doing so silently drops rows.
+    The envelope reconnects and resumes from the last delivered offset.
+    """
+
+
+class TransportTimeout(TransportError):
+    """A connect or read exceeded its per-source deadline."""
+
+
+class CircuitOpenError(TransportError):
+    """The per-source circuit breaker gave up after exhausting its budget."""

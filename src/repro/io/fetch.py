@@ -1,0 +1,100 @@
+"""Threaded prefetch: overlap real transport waits with engine work.
+
+`ThreadedPrefetchSource` wraps any `DataSource` (typically a
+:class:`~repro.io.envelope.ResilientSource` on a `WallTimeline`) and pulls
+its column chunks on a worker thread into a bounded queue, so the serving
+scheduler overlaps *real* network waits the same way it already overlaps
+simulated ones: the cursor's `open_stream_columns` pull returns a buffered
+chunk while the worker blocks on the socket for the next one.
+
+The wrapper is transparent to answers — chunks come out in order with their
+arrival times untouched — and transport errors raised on the worker are
+re-raised at the consumer's next pull. Prefetch objects own a live thread
+and a queue; like every transport object they are per-process resources and
+deliberately not picklable (see the ``transports`` channel declaration in
+`repro.serving.channels`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, Sequence
+
+from repro.sources.source import DataSource
+
+_CHUNK = "chunk"
+_DONE = "done"
+_ERROR = "error"
+
+
+class ThreadedPrefetchSource(DataSource):
+    """Pulls a wrapped source's chunks ahead on a daemon worker thread."""
+
+    def __init__(self, inner: DataSource, depth: int = 4) -> None:
+        super().__init__(inner.name, inner.schema)
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.inner = inner
+        self.depth = depth
+        self.promised_rate: float | None = getattr(inner, "promised_rate", None)
+
+    def open_stream(self) -> Iterator[tuple[tuple[object, ...], float]]:
+        for rows, arrivals in self.open_stream_columns(64):
+            if arrivals is None:
+                for row in rows:
+                    yield row, 0.0
+            else:
+                for row, arrival in zip(rows, arrivals):
+                    yield row, arrival
+
+    def open_stream_columns(
+        self, batch_size: int
+    ) -> Iterator[tuple[Sequence[tuple[object, ...]], Sequence[float] | None]]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        items: "queue.Queue[tuple[str, object]]" = queue.Queue(
+            maxsize=self.depth
+        )
+        stop = threading.Event()
+
+        def _put(item: tuple[str, object]) -> bool:
+            while not stop.is_set():
+                try:
+                    items.put(item, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def _worker() -> None:
+            try:
+                for chunk in self.inner.open_stream_columns(batch_size):
+                    if not _put((_CHUNK, chunk)):
+                        return
+            except BaseException as exc:  # re-raised at the consumer
+                _put((_ERROR, exc))
+            else:
+                _put((_DONE, None))
+
+        worker = threading.Thread(target=_worker, daemon=True)
+        worker.start()
+        try:
+            while True:
+                kind, payload = items.get()
+                if kind == _DONE:
+                    break
+                if kind == _ERROR:
+                    assert isinstance(payload, BaseException)
+                    raise payload
+                assert isinstance(payload, tuple)
+                rows, arrivals = payload
+                yield rows, arrivals
+        finally:
+            stop.set()
+            while True:  # unblock a worker stuck on a full queue
+                try:
+                    items.get_nowait()
+                except queue.Empty:
+                    break
+            worker.join(timeout=5.0)

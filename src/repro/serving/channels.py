@@ -33,7 +33,8 @@ package against it: undeclared escapes of server state into sessions,
 channel mutations outside the sanctioned writer list, clock mutators
 outside the drive loops, and unpicklable fields in ``cross_process_safe``
 payloads are all findings.  ``repro-lint --shard-audit`` renders the
-inventory below; PR 9's worker-process split implements against it.
+inventory below; the worker-process split (ROADMAP item 1) implements
+against it.
 """
 
 from __future__ import annotations
@@ -190,6 +191,24 @@ CHANNELS: tuple[SharedChannel, ...] = (
             "never on themselves"
         ),
         attributes=("session_policies",),
+    ),
+    SharedChannel(
+        name="transports",
+        type_name="ResilientSource",
+        discipline="single_writer",
+        rationale=(
+            "real-I/O transport envelopes own sockets, file handles, DB-API "
+            "connections and prefetch threads — per-process resources that "
+            "must never cross a process boundary (deliberately NOT "
+            "cross_process_safe; the picklability audit rejects their field "
+            "types). The serving loop of the owning worker opens them and "
+            "registers mirrors at setup time only; under sharding each "
+            "worker rebuilds its own envelopes from picklable backend "
+            "descriptions (paths, URLs, queries, fault plans)"
+        ),
+        attributes=("envelope",),
+        mutators=("register_mirror", "reopen_from"),
+        writers=("serving/server.py::QueryServer._prime_sources",),
     ),
     SharedChannel(
         name="handoff",

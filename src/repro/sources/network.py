@@ -21,6 +21,21 @@ class NetworkModel:
         """Yield ``tuple_count`` non-decreasing arrival times (seconds)."""
         raise NotImplementedError
 
+    def expected_transfer_seconds(self, tuple_count: int) -> float:
+        """Time at which the last of ``tuple_count`` tuples arrives.
+
+        The base implementation is exact for every model: it walks
+        :meth:`arrival_times` and returns the final arrival (``0.0`` for an
+        empty transfer).  Subclasses override it only when a closed form is
+        cheaper (:class:`ConstantRateNetworkModel`) or when the exact walk
+        would be misleading (:class:`BurstyNetworkModel` documents a rough
+        analytic expectation instead, for sizing rather than simulation).
+        """
+        last = 0.0
+        for last in self.arrival_times(tuple_count):
+            pass
+        return last
+
 
 class InstantNetworkModel(NetworkModel):
     """Everything is available immediately (equivalent to a local source)."""
@@ -28,6 +43,9 @@ class InstantNetworkModel(NetworkModel):
     def arrival_times(self, tuple_count: int) -> Iterator[float]:
         for _ in range(tuple_count):
             yield 0.0
+
+    def expected_transfer_seconds(self, tuple_count: int) -> float:
+        return 0.0
 
 
 class ConstantRateNetworkModel(NetworkModel):
@@ -43,6 +61,11 @@ class ConstantRateNetworkModel(NetworkModel):
         interval = 1.0 / self.tuples_per_second
         for index in range(tuple_count):
             yield self.latency + index * interval
+
+    def expected_transfer_seconds(self, tuple_count: int) -> float:
+        if tuple_count <= 0:
+            return 0.0
+        return self.latency + (tuple_count - 1) / self.tuples_per_second
 
 
 class PhasedRateNetworkModel(NetworkModel):
@@ -90,16 +113,6 @@ class PhasedRateNetworkModel(NetworkModel):
             yield now
             now += interval
             produced += 1
-
-    def expected_transfer_seconds(self, tuple_count: int) -> float:
-        """Exact time at which the last of ``tuple_count`` tuples arrives."""
-        last = 0.0
-        for index, arrival in enumerate(self.arrival_times(tuple_count)):
-            if index >= tuple_count - 1:
-                return arrival
-            last = arrival
-        return last
-
 
 class BurstyNetworkModel(NetworkModel):
     """Bursty, bandwidth-limited link modelled as alternating burst/gap periods.

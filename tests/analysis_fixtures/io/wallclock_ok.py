@@ -1,0 +1,27 @@
+"""Wall-clock reads inside the ``io`` package: every one is sanctioned.
+
+The ``determinism.wall-clock`` rule exempts exactly this top directory —
+the real-I/O fabric is the one place allowed to observe real time (its
+``wallclock`` module is the surface everything else imports).  None of
+the calls below may produce a finding.
+"""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def sanctioned_perf_counter() -> float:
+    return time.perf_counter()
+
+
+def sanctioned_monotonic() -> float:
+    return time.monotonic()
+
+
+def sanctioned_datetime() -> str:
+    return datetime.now().isoformat()
+
+
+def sanctioned_member_import() -> float:
+    return perf_counter()

@@ -9,6 +9,7 @@ fields (recursing into ``SideState``) and its ``__init__`` stores.
 
 class SideState:
     frames: "Iterator[bytes]"  # LINT: unpicklable-nested
+    worker: "Thread"  # LINT: unpicklable-thread
     depth: int
 
 

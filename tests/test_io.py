@@ -1,0 +1,461 @@
+"""Unit tests for the real-I/O fabric: backends, faults, envelope, fetch.
+
+Covers the PR's satellite contracts directly:
+
+* seeded-jitter backoff determinism, cap behavior, and retry-budget
+  exhaustion surfacing as a circuit-breaker trip;
+* resume-offset correctness — no duplicated and no dropped rows after a
+  mid-stream reconnect on every backend;
+* the fixture server's wire protocol (completeness marker, fault shapes)
+  and the thread-pool prefetch layer.
+
+Every test runs under a hard SIGALRM deadline so a wedged socket or a
+stuck breaker loop fails fast instead of hanging the suite.
+"""
+
+import signal
+import sqlite3
+
+import pytest
+
+from repro.io import (
+    CSVFileTransport,
+    CircuitOpenError,
+    ConnectError,
+    DBAPITransport,
+    FaultPlan,
+    FixtureServer,
+    HTTPTransport,
+    InjectedTransport,
+    JSONLinesTransport,
+    ReadError,
+    ResilientSource,
+    ThreadedPrefetchSource,
+    TruncatedPayloadError,
+    write_csv,
+    write_jsonl,
+    write_sqlite,
+)
+from repro.io.backends import Transport
+from repro.io.envelope import (
+    BackoffSchedule,
+    CircuitBreaker,
+    SimulatedTimeline,
+)
+from repro.io.faults import DELAY, OUTAGE, RESET, TRUNCATE, Fault
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+TEST_DEADLINE_SECONDS = 60
+
+
+@pytest.fixture(autouse=True)
+def hard_deadline():
+    """Hard per-test timeout: a hung socket must fail, not wedge the run."""
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_DEADLINE_SECONDS}s hard deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_DEADLINE_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def make_relation(name="r", count=40):
+    schema = Schema.from_names(["a", "b", "c"], relation=name)
+    rows = [(i, i * 2, i * i) for i in range(count)]
+    return Relation.from_rows(name, schema, rows)
+
+
+class FailingTransport(Transport):
+    """Connects always fail — the retry-budget exhaustion fixture."""
+
+    def __init__(self, name="dead"):
+        super().__init__(name, Schema.from_names(["a", "b", "c"]))
+        self.attempts = 0
+
+    def open(self, offset):
+        self.attempts += 1
+        raise ConnectError(f"{self.name}: connection refused")
+
+
+class FlakyReadTransport(Transport):
+    """Every chunk read fails — exhausts the read retry budget."""
+
+    def __init__(self, rows):
+        super().__init__("flaky", Schema.from_names(["a", "b", "c"]))
+        self._rows = rows
+
+    def open(self, offset):
+        class Reader:
+            def read_rows(self_inner, max_rows):
+                raise ReadError("flaky: connection reset mid-body")
+
+            def close(self_inner):
+                pass
+
+        return Reader()
+
+
+class TestBackoffSchedule:
+    def test_seeded_jitter_is_deterministic(self):
+        a = BackoffSchedule(seed=17)
+        b = BackoffSchedule(seed=17)
+        assert [a.delay(i) for i in range(12)] == [b.delay(i) for i in range(12)]
+
+    def test_delay_is_order_independent(self):
+        schedule = BackoffSchedule(seed=3)
+        forward = [schedule.delay(i) for i in range(8)]
+        backward = [schedule.delay(i) for i in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = [BackoffSchedule(seed=1).delay(i) for i in range(6)]
+        b = [BackoffSchedule(seed=2).delay(i) for i in range(6)]
+        assert a != b
+
+    def test_cap_is_never_exceeded(self):
+        schedule = BackoffSchedule(base=0.1, multiplier=3.0, cap=0.75, seed=9)
+        for i in range(20):
+            assert 0.0 < schedule.delay(i) <= 0.75
+
+    def test_zero_jitter_is_exact_exponential(self):
+        schedule = BackoffSchedule(
+            base=0.05, multiplier=2.0, cap=10.0, jitter=0.0, seed=0
+        )
+        assert [schedule.delay(i) for i in range(4)] == pytest.approx(
+            [0.05, 0.1, 0.2, 0.4]
+        )
+
+    def test_jitter_only_shrinks(self):
+        schedule = BackoffSchedule(base=0.05, multiplier=2.0, cap=2.0, seed=4)
+        for i in range(10):
+            raw = min(2.0, 0.05 * 2.0**i)
+            assert schedule.delay(i) <= raw
+            assert schedule.delay(i) >= raw * 0.5  # jitter=0.5 shrinks at most half
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffSchedule(base=0.0)
+        with pytest.raises(ValueError):
+            BackoffSchedule(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffSchedule(base=1.0, cap=0.5)
+        with pytest.raises(ValueError):
+            BackoffSchedule(jitter=1.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=5.0)
+        for _ in range(2):
+            breaker.record_failure(now=1.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(now=1.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trip_count == 1
+        assert not breaker.allow(now=2.0)
+        assert breaker.cooldown_remaining(now=2.0) == pytest.approx(4.0)
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(now=0.0)
+        breaker.record_success()
+        breaker.record_failure(now=0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=2.0)
+        breaker.record_failure(now=10.0)
+        assert not breaker.allow(now=11.0)
+        assert breaker.allow(now=12.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=1.0)
+        breaker.force_open(now=0.0)
+        assert breaker.allow(now=1.0)  # half-open probe
+        breaker.record_failure(now=1.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trip_count == 2
+
+    def test_probe_after_cooldown_defeats_float_rounding(self):
+        # Sleeping cooldown_remaining can land an ulp short of the
+        # threshold; the explicit transition must still let a probe through.
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=0.3)
+        breaker.record_failure(now=1e9)
+        breaker.probe_after_cooldown()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+
+class TestBackends:
+    def test_csv_round_trip_with_offsets(self, tmp_path):
+        relation = make_relation()
+        path = str(tmp_path / "r.csv")
+        write_csv(path, relation)
+        transport = CSVFileTransport("r", path, relation.schema)
+        reader = transport.open(0)
+        rows = []
+        while True:
+            chunk = reader.read_rows(7)
+            if not chunk:
+                break
+            rows.extend(chunk)
+        reader.close()
+        assert rows == relation.rows
+        resumed = transport.open(25)
+        assert resumed.read_rows(1000) == relation.rows[25:]
+        resumed.close()
+
+    def test_csv_ragged_row_is_a_truncation(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n4,5\n")
+        transport = CSVFileTransport("bad", str(path), Schema.from_names(["a", "b", "c"]))
+        # The file parses eagerly at open, so the cut row surfaces there.
+        with pytest.raises(TruncatedPayloadError):
+            transport.open(0)
+
+    def test_jsonl_round_trip_with_offsets(self, tmp_path):
+        relation = make_relation()
+        path = str(tmp_path / "r.jsonl")
+        write_jsonl(path, relation)
+        transport = JSONLinesTransport("r", path, relation.schema)
+        reader = transport.open(13)
+        assert reader.read_rows(10_000) == relation.rows[13:]
+        reader.close()
+
+    def test_sqlite_round_trip_with_offsets(self, tmp_path):
+        relation = make_relation()
+        path = str(tmp_path / "r.db")
+        query = write_sqlite(path, relation)
+        transport = DBAPITransport(
+            "r", lambda: sqlite3.connect(path), query, relation.schema
+        )
+        reader = transport.open(0)
+        rows = []
+        while True:
+            chunk = reader.read_rows(9)
+            if not chunk:
+                break
+            rows.extend(chunk)
+        reader.close()
+        assert rows == relation.rows
+        resumed = transport.open(31)
+        assert resumed.read_rows(10_000) == relation.rows[31:]
+        resumed.close()
+
+
+class TestFaultPlan:
+    def test_seeded_plans_are_deterministic(self):
+        a = FaultPlan.seeded(11, 40)
+        b = FaultPlan.seeded(11, 40)
+        assert a.describe() == b.describe()
+        assert a.connect_flaps == b.connect_flaps
+        assert sorted(a.read_faults) == sorted(b.read_faults)
+
+    def test_script_fires_each_fault_exactly_once(self):
+        plan = FaultPlan({5: Fault(kind=RESET, offset=5)})
+        script = plan.script()
+        assert script.on_row(4) is None
+        assert script.on_row(5) is not None
+        # The re-read after resume passes straight through.
+        assert script.on_row(5) is None
+
+    def test_outage_arms_subsequent_connects(self):
+        plan = FaultPlan({2: Fault(kind=OUTAGE, offset=2, count=2)})
+        script = plan.script()
+        assert script.on_connect() is None
+        assert script.on_row(2).kind == OUTAGE
+        assert script.on_connect().kind == OUTAGE
+        assert script.on_connect().kind == OUTAGE
+        assert script.on_connect() is None
+
+
+class TestResilientEnvelope:
+    def make_faulted_source(self, tmp_path, plan, **kwargs):
+        relation = make_relation()
+        path = str(tmp_path / "r.csv")
+        write_csv(path, relation)
+        inner = CSVFileTransport("r", path, relation.schema)
+        return relation, ResilientSource(InjectedTransport(inner, plan), **kwargs)
+
+    def test_resume_after_reset_no_dup_no_drop(self, tmp_path):
+        plan = FaultPlan(
+            {
+                7: Fault(kind=RESET, offset=7),
+                21: Fault(kind=TRUNCATE, offset=21),
+            }
+        )
+        relation, source = self.make_faulted_source(tmp_path, plan)
+        delivered = [row for row, _t in source.open_stream()]
+        assert delivered == relation.rows
+        assert source.telemetry.read_faults == 2
+        assert source.telemetry.truncations == 1
+        assert source.telemetry.resumes == 2
+
+    def test_faulted_stream_is_bitwise_deterministic(self, tmp_path):
+        def run():
+            plan = FaultPlan.seeded(23, 40)
+            relation, source = self.make_faulted_source(tmp_path, plan)
+            return relation, list(source.open_stream())
+
+        relation, first = run()
+        _, second = run()
+        assert first == second  # rows AND simulated arrival instants
+        assert [row for row, _t in first] == relation.rows
+        times = [t for _row, t in first]
+        assert times == sorted(times)
+
+    def test_connect_budget_exhaustion_trips_the_breaker(self):
+        transport = FailingTransport()
+        source = ResilientSource(
+            transport,
+            connect_retry_limit=3,
+            breaker=CircuitBreaker(failure_threshold=100),
+        )
+        with pytest.raises(CircuitOpenError) as excinfo:
+            list(source.open_stream())
+        assert source.breaker.state == CircuitBreaker.OPEN
+        assert source.breaker.trip_count == 1
+        assert "budget (3) exhausted" in str(excinfo.value)
+        assert transport.attempts == 4  # the first try plus three retries
+        assert source.telemetry.backoff_seconds > 0.0
+
+    def test_read_budget_exhaustion_trips_the_breaker(self):
+        source = ResilientSource(
+            FlakyReadTransport([]),
+            read_retry_limit=2,
+            breaker=CircuitBreaker(failure_threshold=100),
+        )
+        with pytest.raises(CircuitOpenError):
+            list(source.open_stream())
+        assert source.breaker.state == CircuitBreaker.OPEN
+
+    def test_open_breaker_stalls_the_timeline(self, tmp_path):
+        plan = FaultPlan(
+            {
+                3: Fault(kind=OUTAGE, offset=3, count=2),
+            }
+        )
+        timeline = SimulatedTimeline()
+        relation, source = self.make_faulted_source(
+            tmp_path,
+            plan,
+            timeline=timeline,
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_seconds=0.5),
+        )
+        delivered = [row for row, _t in source.open_stream()]
+        assert delivered == relation.rows
+        # The outage tripped the breaker; waiting out the cooldown is a
+        # simulated-time stall, which is what the adaptivity monitor sees.
+        assert source.breaker.trip_count >= 1
+        assert timeline.now() >= 0.5
+
+    def test_reopen_from_continues_exactly(self, tmp_path):
+        relation, source = self.make_faulted_source(
+            tmp_path, FaultPlan.seeded(5, 40)
+        )
+        resumed = source.reopen_from(17, start_at=9.0)
+        out = list(resumed.open_stream())
+        assert [row for row, _t in out] == relation.rows[17:]
+        assert all(t >= 9.0 for _row, t in out)
+        assert resumed.name == source.name
+        assert resumed.offset == 17
+
+    def test_register_mirror_requires_matching_schema(self, tmp_path):
+        relation, source = self.make_faulted_source(tmp_path, FaultPlan.quiet())
+        other = ResilientSource(FailingTransport("other"))
+        source.register_mirror(other)
+        assert source.mirrors == [other]
+        bad_schema = Schema.from_names(["x", "y"])
+        bad_relation = Relation.from_rows("bad", bad_schema, [(1, 2)])
+        mismatched = ResilientSource(
+            CSVFileTransport("bad", str(tmp_path / "none.csv"), bad_schema)
+        )
+        with pytest.raises(ValueError):
+            source.register_mirror(mismatched)
+
+    def test_telemetry_counts_quiet_run(self, tmp_path):
+        relation, source = self.make_faulted_source(tmp_path, FaultPlan.quiet())
+        delivered = [row for row, _t in source.open_stream()]
+        assert delivered == relation.rows
+        stats = source.telemetry.as_dict()
+        assert stats["connects"] == 1
+        assert stats["connect_retries"] == 0
+        assert stats["read_faults"] == 0
+        assert stats["rows_delivered"] == len(relation.rows)
+
+
+class TestFixtureServer:
+    def test_quiet_round_trip(self):
+        relation = make_relation(count=60)
+        with FixtureServer() as server:
+            url = server.add_relation("r", relation)
+            transport = HTTPTransport("r", url, relation.schema)
+            source = ResilientSource(transport)
+            delivered = [row for row, _t in source.open_stream()]
+        assert delivered == relation.rows
+
+    def test_server_side_faults_resume_exactly(self):
+        relation = make_relation(count=60)
+        plan = FaultPlan(
+            {
+                9: Fault(kind=RESET, offset=9),
+                30: Fault(kind=TRUNCATE, offset=30),
+                45: Fault(kind=DELAY, offset=45, seconds=0.01),
+            }
+        )
+        with FixtureServer() as server:
+            url = server.add_relation("r", relation, plan)
+            transport = HTTPTransport("r", url, relation.schema)
+            source = ResilientSource(transport)
+            delivered = [row for row, _t in source.open_stream()]
+        assert delivered == relation.rows
+        assert source.telemetry.read_faults >= 2
+        assert source.telemetry.resumes >= 2
+
+    def test_offset_query_serves_a_suffix(self):
+        relation = make_relation(count=25)
+        with FixtureServer() as server:
+            url = server.add_relation("r", relation)
+            transport = HTTPTransport("r", url, relation.schema)
+            reader = transport.open(20)
+            assert reader.read_rows(100) == relation.rows[20:]
+            reader.close()
+
+    def test_unknown_relation_is_a_connect_error(self):
+        with FixtureServer() as server:
+            transport = HTTPTransport(
+                "ghost", server.url_for("ghost"), Schema.from_names(["a"])
+            )
+            with pytest.raises(ConnectError):
+                transport.open(0)
+
+
+class TestThreadedPrefetch:
+    def test_prefetch_preserves_rows_and_order(self, tmp_path):
+        relation = make_relation(count=80)
+        path = str(tmp_path / "r.csv")
+        write_csv(path, relation)
+        inner = ResilientSource(
+            InjectedTransport(
+                CSVFileTransport("r", path, relation.schema),
+                FaultPlan.seeded(31, 80),
+            )
+        )
+        prefetch = ThreadedPrefetchSource(inner, depth=2)
+        delivered = [row for row, _t in prefetch.open_stream()]
+        assert delivered == relation.rows
+
+    def test_prefetch_propagates_failures(self):
+        prefetch = ThreadedPrefetchSource(ResilientSource(FailingTransport()))
+        with pytest.raises(CircuitOpenError):
+            list(prefetch.open_stream())

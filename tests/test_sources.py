@@ -10,6 +10,7 @@ from repro.sources.network import (
     BurstyNetworkModel,
     ConstantRateNetworkModel,
     InstantNetworkModel,
+    PhasedRateNetworkModel,
 )
 from repro.sources.remote import RemoteSource
 from repro.sources.source import LocalSource
@@ -64,6 +65,57 @@ class TestNetworkModels:
     def test_bursty_expected_transfer_estimate(self):
         model = BurstyNetworkModel(seed=0)
         assert model.expected_transfer_seconds(1000) > 0
+
+
+class TestExpectedTransferSeconds:
+    """``expected_transfer_seconds`` is pinned for all four network models."""
+
+    def test_instant_is_zero(self):
+        model = InstantNetworkModel()
+        assert model.expected_transfer_seconds(0) == 0.0
+        assert model.expected_transfer_seconds(1000) == 0.0
+
+    def test_constant_rate_closed_form_matches_walk(self):
+        model = ConstantRateNetworkModel(10.0, latency=1.0)
+        assert model.expected_transfer_seconds(0) == 0.0
+        assert model.expected_transfer_seconds(1) == pytest.approx(1.0)
+        # latency + (n - 1) / rate, and exactly the last arrival time.
+        for count in (2, 7, 100):
+            last = list(model.arrival_times(count))[-1]
+            expected = 1.0 + (count - 1) / 10.0
+            assert model.expected_transfer_seconds(count) == pytest.approx(expected)
+            assert model.expected_transfer_seconds(count) == pytest.approx(last)
+
+    def test_phased_uses_exact_base_walk(self):
+        model = PhasedRateNetworkModel(
+            phases=[(1.0, 5.0), (2.0, 0.0), (1.0, 20.0)],
+            tail_rate=50.0,
+            latency=0.5,
+        )
+        assert model.expected_transfer_seconds(0) == 0.0
+        for count in (1, 4, 6, 40, 200):
+            last = list(model.arrival_times(count))[-1]
+            assert model.expected_transfer_seconds(count) == pytest.approx(last)
+
+    def test_bursty_estimate_is_analytic_not_a_walk(self):
+        # Bursty keeps its rough analytic sizing estimate: positive,
+        # monotone in tuple count, and stable across calls (no RNG state).
+        model = BurstyNetworkModel(seed=3)
+        small = model.expected_transfer_seconds(100)
+        large = model.expected_transfer_seconds(10_000)
+        assert 0 < small < large
+        assert model.expected_transfer_seconds(100) == small
+        expected = (
+            model.latency
+            + 100 / model.burst_rate
+            + max(100 / model.mean_burst_tuples, 1.0) * model.mean_gap_seconds
+        )
+        assert small == pytest.approx(expected)
+
+    def test_base_walk_handles_zero_and_negative_counts(self):
+        model = PhasedRateNetworkModel(phases=[(1.0, 1.0)], tail_rate=1.0)
+        assert model.expected_transfer_seconds(0) == 0.0
+        assert model.expected_transfer_seconds(-3) == 0.0
 
 
 class TestRemoteSource:

@@ -25,6 +25,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 STRICT_TARGETS = (
     "src/repro/analysis",
     "src/repro/serving",
+    "src/repro/io",
     "src/repro/engine/cost.py",
     "src/repro/adaptivity/events.py",
 )
