@@ -312,10 +312,24 @@ def compile_chain(plan, binding) -> Callable[[list], None]:
     src = "\n".join(
         [f"def _chain(rows, {params}):"] + prologue + lines
     )
-    namespace = dict(env.bindings)
+    return bind_chain(src, env.bindings)
+
+
+def bind_chain(src: str, bindings: dict) -> Callable[[list], None]:
+    """Materialize a chain from generated source plus runtime bindings.
+
+    The rehydration primitive of cross-process execution: code *objects*
+    never travel between processes — identical plan shapes generate
+    identical source text, so a worker process rebuilds a parent's pipeline
+    by regenerating (or receiving) the source and binding its own runtime
+    objects (metrics sinks, hash states, bucket maps).  The resulting
+    chain's ``__compiled_source__`` is bit-identical to the parent's, which
+    the spawn-boundary rehydration test pins.
+    """
+    namespace = dict(bindings)
     exec(_code_for(src), namespace)
     chain = namespace["_chain"]
-    chain.__compiled_source__ = src  # for tests / debugging
+    chain.__compiled_source__ = src  # for tests / debugging / rehydration
     return chain
 
 

@@ -21,7 +21,10 @@ for a different deterministic instance, and ``--batch-size N`` to run the
 engines batch-at-a-time (identical results, much faster regeneration).
 ``serve-bench`` additionally honours ``--serve-queries`` (concurrent query
 count, default 8), ``--serve-wireless`` and ``--bench-output`` (write the
-JSON benchmark record, e.g. ``BENCH_pr2.json``).  ``order-bench`` compares
+JSON benchmark record, e.g. ``BENCH_pr2.json``); with ``--workers 1 2 4``
+it instead sweeps the multi-process sharded tier across worker counts,
+verifying every run's answers against solo execution and recording the
+wall-clock scaling curve (``--bench-output BENCH_pr10.json``).  ``order-bench`` compares
 hash-only against order-adaptive corrective processing over sorted /
 near-sorted / unordered / lying-promise source mixes and honours
 ``--bench-output`` (e.g. ``BENCH_pr3.json``).  ``--engine-mode compiled``
@@ -76,8 +79,10 @@ from repro.experiments.rate_bench import rate_bench_rows, run_rate_benchmark
 from repro.experiments.selectivity import run_selectivity_prediction
 from repro.experiments.serving_bench import (
     run_serving_benchmark,
+    run_sharded_serving_benchmark,
     serving_per_query_rows,
     serving_summary_rows,
+    sharded_summary_rows,
 )
 
 
@@ -156,7 +161,19 @@ def run_serve_bench(
     num_queries: int = 8,
     wireless: bool = False,
     output: str | None = None,
+    workers: list[int] | None = None,
 ) -> None:
+    if workers is not None:
+        run_shard_bench(
+            scale,
+            seed,
+            batch_size,
+            num_queries=num_queries,
+            wireless=wireless,
+            output=output,
+            workers=workers,
+        )
+        return
     result = run_serving_benchmark(
         scale_factor=scale,
         seed=seed,
@@ -193,6 +210,66 @@ def run_serve_bench(
             f"serving-vs-solo verification FAILED: {mismatched}"
         )
     print("serving-vs-solo verification: all result multisets identical")
+
+
+def run_shard_bench(
+    scale: float,
+    seed: int,
+    batch_size: int | None = None,
+    num_queries: int = 8,
+    wireless: bool = False,
+    output: str | None = None,
+    workers: list[int] | None = None,
+) -> None:
+    """The multi-process scaling sweep behind ``serve-bench --workers``.
+
+    Runs the same query mix through :class:`ShardedQueryServer` once per
+    worker count, prints the scaling curve, writes the JSON record, and
+    gates on (a) every worker count's answers matching solo corrective
+    execution and (b) — only where the host has the cores for it — the
+    4-vs-1-worker wall-clock speedup meeting the acceptance threshold.
+    """
+    worker_counts = list(workers) if workers else [1, 2, 4]
+    result = run_sharded_serving_benchmark(
+        scale_factor=scale,
+        seed=seed,
+        num_queries=num_queries,
+        batch_size=batch_size,
+        workers=worker_counts,
+        wireless=wireless,
+    )
+    _print(
+        f"Sharded serving — {num_queries} queries per worker count",
+        format_table(sharded_summary_rows(result)),
+    )
+    gate = result["scaling_gate"]
+    # Write the record before the gates: on a failure the JSON's per-count
+    # ``mismatched_queries`` and ``scaling_gate`` record are the diagnostics.
+    if output is not None:
+        path = pathlib.Path(output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbenchmark record written to {path}")
+    failed = {
+        count: stats["mismatched_queries"]
+        for count, stats in result["workers"].items()
+        if not stats["verified_vs_solo"]
+    }
+    if failed:
+        raise SystemExit(f"sharded-vs-solo verification FAILED: {failed}")
+    print("sharded-vs-solo verification: all result multisets identical")
+    if gate["applicable"]:
+        if not gate["passed"]:
+            raise SystemExit(
+                f"scaling gate FAILED: 4-vs-1-worker speedup "
+                f"{gate['speedup_4v1']}x < {gate['threshold']}x "
+                f"(cpu_count={gate['cpu_count']})"
+            )
+        print(
+            f"scaling gate: 4-vs-1-worker speedup {gate['speedup_4v1']}x "
+            f">= {gate['threshold']}x"
+        )
+    else:
+        print(f"scaling gate: {gate['reason']}")
 
 
 def run_order_bench(
@@ -496,6 +573,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve-bench: put every source behind a bursty wireless link",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help=(
+            "serve-bench: run the multi-process scaling sweep instead of "
+            "the policy comparison — one sharded run per worker count "
+            "(e.g. --workers 1 2 4), verifying every run's answers against "
+            "solo execution and gating the 4-vs-1 wall-clock speedup on "
+            "hosts with >= 4 CPUs"
+        ),
+    )
+    parser.add_argument(
         "--bench-output",
         default=None,
         help=(
@@ -640,6 +731,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "serve-bench":
         if args.serve_queries < 1:
             raise SystemExit("--serve-queries must be a positive integer")
+        if args.workers is not None and any(count < 1 for count in args.workers):
+            raise SystemExit("--workers must be positive integers")
         run_serve_bench(
             args.scale,
             args.seed,
@@ -647,6 +740,7 @@ def main(argv: list[str] | None = None) -> int:
             num_queries=args.serve_queries,
             wireless=args.serve_wireless,
             output=args.bench_output,
+            workers=args.workers,
         )
     elif args.experiment == "order-bench":
         run_order_bench(

@@ -1,4 +1,4 @@
-"""Multi-query serving: concurrent adaptive executions on one shared clock."""
+"""Multi-query serving: one shared clock in-process, or N worker shards."""
 
 from repro.serving.scheduler import (
     POLICIES,
@@ -6,20 +6,40 @@ from repro.serving.scheduler import (
     SchedulingPolicy,
     ShortestRemainingCostPolicy,
     make_policy,
+    shard_assignment,
 )
 from repro.serving.server import QueryServer, ServedQuery, ServingReport
 from repro.serving.session import QuerySession
-from repro.serving.stats_cache import SharedStatisticsCache
+from repro.serving.sharded import (
+    PartitionedServedQuery,
+    ShardedQueryServer,
+    ShardedServingReport,
+    WorkerSummary,
+)
+from repro.serving.specs import SessionResult, SessionSpec, ShardResult, ShardTask
+from repro.serving.stats_cache import SharedStatisticsCache, StatisticsSnapshot
+from repro.serving.stats_store import SharedStatisticsStore
 
 __all__ = [
     "POLICIES",
+    "PartitionedServedQuery",
     "QueryServer",
     "QuerySession",
     "RoundRobinPolicy",
     "SchedulingPolicy",
     "ServedQuery",
     "ServingReport",
+    "SessionResult",
+    "SessionSpec",
+    "ShardResult",
+    "ShardTask",
+    "ShardedQueryServer",
+    "ShardedServingReport",
     "SharedStatisticsCache",
+    "SharedStatisticsStore",
     "ShortestRemainingCostPolicy",
+    "StatisticsSnapshot",
+    "WorkerSummary",
     "make_policy",
+    "shard_assignment",
 ]

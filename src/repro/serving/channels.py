@@ -1,8 +1,9 @@
 """The shared-channel registry: the serving layer's explicit sharing contract.
 
-Today one `QueryServer` thread interleaves every session's quanta on one
-shared :class:`~repro.engine.cost.SimulatedClock`; ROADMAP item 1 splits
-that loop into N worker processes.  The split is only safe if every object
+The in-process `QueryServer` interleaves every session's quanta on one
+shared :class:`~repro.engine.cost.SimulatedClock`; the sharded tier
+(:mod:`repro.serving.sharded`, ROADMAP item 1) splits that loop into N
+worker processes.  The split is only safe if every object
 reachable from two or more served sessions is *named*, carries a declared
 access discipline, and is machine-checked against it — an undeclared
 cross-session mutation that is benign under single-threaded interleaving
@@ -167,10 +168,12 @@ CHANNELS: tuple[SharedChannel, ...] = (
         type_name="SharedStatisticsCache",
         discipline="cross_process_safe",
         rationale=(
-            "the cross-query learning store becomes a cross-process store "
-            "under sharding (ROADMAP item 1); mutated only by the serving "
+            "the cross-query learning store; mutated only by the serving "
             "loop's telemetry hook and the shared-learning policy between "
-            "sessions, and every reachable field must pickle"
+            "sessions, and every reachable field must pickle — under "
+            "sharding each worker hydrates a private cache from a snapshot "
+            "and the front-end folds post-run snapshots in worker-id order "
+            "(see the stats_store channel for the manager-hosted variant)"
         ),
         attributes=("stats_cache", "cache"),
         mutators=("absorb", "record_rate_sample", "record_histogram"),
@@ -211,20 +214,77 @@ CHANNELS: tuple[SharedChannel, ...] = (
         writers=("serving/server.py::QueryServer._prime_sources",),
     ),
     SharedChannel(
+        name="shard_tasks",
+        type_name="",
+        discipline="cross_process_safe",
+        rationale=(
+            "the FIFO task hand-off of the sharded server: the front-end "
+            "routes sessions to shards and enqueues one ShardTask per "
+            "worker (catalog snapshot, source pool, picklable session "
+            "specs, processor knobs, statistics snapshot); compiled "
+            "pipelines rehydrate worker-side from generated source, never "
+            "as code objects"
+        ),
+        writers=("serving/sharded.py::ShardedQueryServer.run",),
+        payload_types=(
+            "ShardTask",
+            "SessionSpec",
+            "StatisticsSnapshot",
+        ),
+    ),
+    SharedChannel(
         name="handoff",
         type_name="",
         discipline="cross_process_safe",
         rationale=(
-            "planned worker hand-off payloads — adaptation events, metrics "
-            "snapshots, corrective ticks, catalog statistics — must cross "
-            "the process boundary whole, so every field must pickle"
+            "the FIFO result hand-off of the sharded server: each worker "
+            "returns one ShardResult (full per-session corrective reports, "
+            "its post-run statistics snapshot, wall/utilization telemetry) "
+            "— every payload crosses the process boundary whole, so every "
+            "field must pickle"
         ),
+        writers=("serving/worker.py::worker_main",),
         payload_types=(
+            "ShardResult",
+            "SessionResult",
+            "CorrectiveExecutionReport",
             "AdaptationEvent",
             "ExecutionMetrics",
             "CorrectiveTick",
             "TableStatistics",
         ),
+    ),
+    SharedChannel(
+        name="stats_store",
+        type_name="SharedStatisticsStore",
+        discipline="cross_process_safe",
+        rationale=(
+            "the cross-process statistics store: one real cache hosted in a "
+            "multiprocessing manager process behind the existing cache API "
+            "(method calls only — apply_cardinalities runs facade-side from "
+            "a fetched snapshot); state transfers are whole "
+            "StatisticsSnapshot values, so learned estimates survive across "
+            "front-end processes and successive server runs"
+        ),
+        payload_types=("StatisticsSnapshot",),
+    ),
+    SharedChannel(
+        name="partition_merge",
+        type_name="",
+        discipline="cross_process_safe",
+        rationale=(
+            "partition-parallel execution: fragment inputs travel as "
+            "hash-partitioned Relation overrides inside session specs, "
+            "fragment outputs return as ordinary session results, and the "
+            "front-end merges them deterministically in partition order "
+            "(partial aggregates folded per group key, avg decomposed as "
+            "sum/count)"
+        ),
+        writers=(
+            "serving/sharded.py::ShardedQueryServer.run",
+            "serving/partition.py::merge_partition_results",
+        ),
+        payload_types=("PartitionPlan", "Relation"),
     ),
 )
 

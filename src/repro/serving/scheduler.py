@@ -70,6 +70,20 @@ POLICIES: dict[str, type[SchedulingPolicy]] = {
 }
 
 
+def shard_assignment(num_sessions: int, workers: int) -> list[int]:
+    """Deterministic session→worker routing for the sharded server.
+
+    Plain round-robin by admission index: session ``i`` runs on worker
+    ``i % workers``.  A pure function of the two counts — no hashing, no
+    randomness — so a sharded run's shard composition (and therefore every
+    worker-local learning order) is reproducible from the submission order
+    alone.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return [index % workers for index in range(num_sessions)]
+
+
 def make_policy(policy: str | SchedulingPolicy) -> SchedulingPolicy:
     """Resolve a policy name (or pass an instance through)."""
     if isinstance(policy, SchedulingPolicy):

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Sized
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.adaptivity import (
     AdaptationController,
@@ -144,6 +145,61 @@ class ServingReport:
         }
 
 
+def corrective_processor_options(
+    *,
+    polling_interval_seconds: float = 1.0,
+    switch_threshold: float = 0.8,
+    max_phases: int = 8,
+    default_cardinality: int = DEFAULT_ASSUMED_CARDINALITY,
+    bushy: bool = True,
+    batch_size: int | None = None,
+    order_adaptive: bool = False,
+    engine_mode: str = "interpreted",
+    rate_adaptive: bool = False,
+    rate_collapse_fraction: float = 0.5,
+    rate_switch_threshold: float = 0.8,
+    failover_adaptive: bool = False,
+    failover_stall_seconds: float = 0.05,
+    failover_outage_polls: int = 2,
+) -> dict[str, Any]:
+    """The :class:`CorrectiveQueryProcessor` keyword set as a plain dict.
+
+    One definition shared by the in-process server and the sharded worker
+    fabric: :meth:`QueryServer.submit` expands it locally, while
+    :class:`~repro.serving.sharded.ShardedQueryServer` embeds it in each
+    picklable :class:`~repro.serving.specs.ShardTask` so workers build
+    processors with exactly the knobs the front-end was configured with.
+    Every value is a plain scalar, so the dict pickles as-is.
+    """
+    from repro.engine.compiled import ENGINE_MODES
+
+    if engine_mode not in ENGINE_MODES:
+        raise ValueError(
+            f"unknown engine_mode {engine_mode!r}; expected one of {ENGINE_MODES}"
+        )
+    if engine_mode == "compiled" and batch_size is None:
+        raise ValueError(
+            "engine_mode='compiled' requires batch_size (the compiled "
+            "engine specializes the batched execution path)"
+        )
+    return {
+        "polling_interval_seconds": polling_interval_seconds,
+        "switch_threshold": switch_threshold,
+        "max_phases": max_phases,
+        "default_cardinality": default_cardinality,
+        "bushy": bushy,
+        "batch_size": batch_size,
+        "order_adaptive": order_adaptive,
+        "engine_mode": engine_mode,
+        "rate_adaptive": rate_adaptive,
+        "rate_collapse_fraction": rate_collapse_fraction,
+        "rate_switch_threshold": rate_switch_threshold,
+        "failover_adaptive": failover_adaptive,
+        "failover_stall_seconds": failover_stall_seconds,
+        "failover_outage_polls": failover_outage_polls,
+    }
+
+
 class QueryServer:
     """Admit N concurrent SPJA queries and serve them on one shared clock."""
 
@@ -215,17 +271,9 @@ class QueryServer:
         """
         if quantum_tuples < 1:
             raise ValueError("quantum_tuples must be positive")
-        from repro.engine.compiled import ENGINE_MODES
-
-        if engine_mode not in ENGINE_MODES:
-            raise ValueError(
-                f"unknown engine_mode {engine_mode!r}; expected one of {ENGINE_MODES}"
-            )
-        if engine_mode == "compiled" and batch_size is None:
-            raise ValueError(
-                "engine_mode='compiled' requires batch_size (the compiled "
-                "engine specializes the batched execution path)"
-            )
+        # Validates engine_mode / batch_size combinations as a side effect;
+        # submit() re-derives the dict so later attribute tweaks still apply.
+        corrective_processor_options(batch_size=batch_size, engine_mode=engine_mode)
         # The server owns a private catalog copy: learned statistics are
         # published into it between sessions without mutating the caller's.
         self.catalog = catalog.copy()
@@ -265,6 +313,25 @@ class QueryServer:
         self._turn = 0
         self._ran = False
 
+    def processor_options(self) -> dict[str, Any]:
+        """This server's per-session :class:`CorrectiveQueryProcessor` knobs."""
+        return corrective_processor_options(
+            polling_interval_seconds=self.polling_interval_seconds,
+            switch_threshold=self.switch_threshold,
+            max_phases=self.max_phases,
+            default_cardinality=self.default_cardinality,
+            bushy=self.bushy,
+            batch_size=self.batch_size,
+            order_adaptive=self.order_adaptive,
+            engine_mode=self.engine_mode,
+            rate_adaptive=self.rate_adaptive,
+            rate_collapse_fraction=self.rate_collapse_fraction,
+            rate_switch_threshold=self.rate_switch_threshold,
+            failover_adaptive=self.failover_adaptive,
+            failover_stall_seconds=self.failover_stall_seconds,
+            failover_outage_polls=self.failover_outage_polls,
+        )
+
     # -- admission ---------------------------------------------------------------
 
     def submit(
@@ -295,20 +362,7 @@ class QueryServer:
             self.catalog,
             self.sources,
             self.cost_model,
-            polling_interval_seconds=self.polling_interval_seconds,
-            switch_threshold=self.switch_threshold,
-            max_phases=self.max_phases,
-            default_cardinality=self.default_cardinality,
-            bushy=self.bushy,
-            batch_size=self.batch_size,
-            order_adaptive=self.order_adaptive,
-            engine_mode=self.engine_mode,
-            rate_adaptive=self.rate_adaptive,
-            rate_collapse_fraction=self.rate_collapse_fraction,
-            rate_switch_threshold=self.rate_switch_threshold,
-            failover_adaptive=self.failover_adaptive,
-            failover_stall_seconds=self.failover_stall_seconds,
-            failover_outage_polls=self.failover_outage_polls,
+            **self.processor_options(),
         )
         for policy in self.session_policies:
             processor.adaptation.register(policy)

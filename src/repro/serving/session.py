@@ -40,6 +40,7 @@ class QuerySession:
         admit_at: float = 0.0,
         initial_tree: JoinTree | None = None,
         quantum_tuples: int = 200,
+        cooperative: bool = True,
     ) -> None:
         self.index = index
         self.label = label
@@ -49,6 +50,12 @@ class QuerySession:
         self.admit_at = admit_at
         self.initial_tree = initial_tree
         self.quantum_tuples = quantum_tuples
+        #: cooperative sessions stop chunks at the arrival horizon and yield
+        #: (the shared-clock server mode); non-cooperative sessions block on
+        #: a *private* clock exactly like solo execution — the mode the
+        #: sharded worker fabric uses to keep per-session simulated seconds
+        #: bit-identical to solo.
+        self.cooperative = cooperative
         self.state = self.PENDING
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -82,10 +89,12 @@ class QuerySession:
             poll_step_limit=self.quantum_tuples,
             clock=clock,
             seed_statistics=seed_statistics,
-            # Never stall the shared clock inside a quantum: chunks stop at
-            # the first not-yet-arrived tuple and yield, so the scheduler can
-            # overlap this query's waits with other queries' work.
-            cooperative=True,
+            # Cooperative mode never stalls the shared clock inside a
+            # quantum: chunks stop at the first not-yet-arrived tuple and
+            # yield, so the scheduler can overlap this query's waits with
+            # other queries' work.  Blocking mode (sharded workers) waits on
+            # the session's private clock instead, as solo execution does.
+            cooperative=self.cooperative,
         )
         self.state = self.ACTIVE
         self.started_at = clock.now

@@ -33,12 +33,38 @@ join structure.
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Iterable
+from dataclasses import dataclass, field
 
 from repro.optimizer.statistics import ObservedStatistics
 from repro.relational.algebra import SPJAQuery
 from repro.relational.catalog import Catalog
 from repro.stats.histogram import DynamicCompressedHistogram
+
+
+@dataclass(frozen=True)
+class StatisticsSnapshot:
+    """A picklable copy of everything a statistics cache has learned.
+
+    The cross-process protocol of the sharded serving tier: the front-end
+    snapshots its persistent cache once per run and ships the snapshot to
+    every worker (each worker hydrates a private cache from it), and each
+    worker ships its own post-run snapshot back so the front-end can fold
+    the shards' learning together deterministically (worker-id order).
+    Snapshots are plain data — no live views, no clocks, no cursors — so
+    they cross process boundaries whole.
+    """
+
+    observed: ObservedStatistics = field(default_factory=ObservedStatistics)
+    cardinalities: dict[str, int] = field(default_factory=dict)
+    histograms: dict[tuple[str, str], DynamicCompressedHistogram] = field(
+        default_factory=dict
+    )
+    rate_samples: dict[str, list[tuple[float, int]]] = field(default_factory=dict)
+    rate_promises: dict[str, float] = field(default_factory=dict)
+    rate_totals: dict[str, int] = field(default_factory=dict)
+    queries_absorbed: int = 0
 
 
 class SharedStatisticsCache:
@@ -134,6 +160,72 @@ class SharedStatisticsCache:
             if obs.exhausted and obs.tuples_read > 0:
                 existing_count = self.cardinalities.get(relation, 0)
                 self.cardinalities[relation] = max(existing_count, obs.tuples_read)
+
+    # -- cross-process transfer --------------------------------------------------
+
+    def snapshot_state(self) -> StatisticsSnapshot:
+        """A detached, picklable copy of everything the cache has learned.
+
+        Deep-copied so the snapshot neither aliases the cache's live views
+        nor is mutated by later ``absorb`` calls — exactly the hand-off shape
+        the sharded serving tier ships over its task and result queues.
+        """
+        return StatisticsSnapshot(
+            observed=copy.deepcopy(self._observed),
+            cardinalities=dict(self.cardinalities),
+            histograms=dict(self.histograms),
+            rate_samples={
+                relation: list(samples)
+                for relation, samples in self.rate_samples.items()
+            },
+            rate_promises=dict(self.rate_promises),
+            rate_totals=dict(self.rate_totals),
+            queries_absorbed=self.queries_absorbed,
+        )
+
+    def hydrate_state(self, snapshot: StatisticsSnapshot) -> None:
+        """Replace this cache's learned state with ``snapshot``'s.
+
+        Used by worker processes to build a private cache from the
+        front-end's run-start snapshot.  Seed/absorb counters restart at
+        zero: they count what *this* cache did, not what its ancestor did.
+        """
+        self._observed = copy.deepcopy(snapshot.observed)
+        self.selectivities = self._observed.selectivities
+        self.multiplicative_factors = self._observed.multiplicative_factors
+        self.orderings = self._observed.orderings
+        self.cardinalities = dict(snapshot.cardinalities)
+        self.histograms = dict(snapshot.histograms)
+        self.rate_samples = {
+            relation: list(samples)
+            for relation, samples in snapshot.rate_samples.items()
+        }
+        self.rate_promises = dict(snapshot.rate_promises)
+        self.rate_totals = dict(snapshot.rate_totals)
+        self.queries_seeded = 0
+        self.queries_absorbed = 0
+
+    def absorb_snapshot(self, snapshot: StatisticsSnapshot) -> None:
+        """Fold another cache's learned state into this one.
+
+        The front-end calls this once per worker, in worker-id order, when a
+        sharded run finishes — the deterministic cross-process counterpart of
+        per-query :meth:`absorb`.  Rate telemetry is folded by plain update
+        (samples were taken on the shard's own simulated clock, so merging
+        sample windows across shards would be meaningless); selectivities,
+        orderings, and factors go through :meth:`ObservedStatistics.merge`,
+        and exhausted-source cardinalities max-fold like ``absorb``'s.
+        """
+        self._observed.merge(snapshot.observed)
+        for relation, cardinality in snapshot.cardinalities.items():
+            existing_count = self.cardinalities.get(relation, 0)
+            self.cardinalities[relation] = max(existing_count, cardinality)
+        self.histograms.update(snapshot.histograms)
+        for relation, samples in snapshot.rate_samples.items():
+            self.rate_samples[relation] = list(samples)
+        self.rate_promises.update(snapshot.rate_promises)
+        self.rate_totals.update(snapshot.rate_totals)
+        self.queries_absorbed += snapshot.queries_absorbed
 
     # -- histograms -------------------------------------------------------------
 

@@ -1,0 +1,192 @@
+"""Worker-process side of the sharded serving tier.
+
+A worker process receives exactly one :class:`~repro.serving.specs.ShardTask`
+over its task queue, drives the shard to completion, and sends one
+:class:`~repro.serving.specs.ShardResult` back over the result queue.  The
+shard driver is deliberately a plain function (:func:`drive_shard`) so the
+same code runs in-process for ``workers=1`` and for deterministic tests.
+
+Determinism contract (the sharded differential suites pin all of it):
+
+* every session runs in **blocking** mode on its own **private**
+  :class:`~repro.engine.cost.SimulatedClock` — exactly the solo-execution
+  configuration, so each session's result multiset, metrics, phase count
+  and simulated seconds are bit-identical to a solo run of the same query;
+* sessions are activated in ``(admit_at, index)`` order and their quanta
+  interleaved by the shard's scheduling policy at tick granularity; because
+  clocks are private, interleaving affects wall-clock overlap only, never
+  results or simulated timings;
+* each worker learns statistics into a private cache hydrated from the
+  front-end's run-start snapshot; its post-run snapshot rides home in the
+  :class:`ShardResult` and the front-end folds snapshots in worker-id order,
+  so the persistent cache's end state is independent of wall-clock races.
+
+Partition fragments (``spec.partition_of`` set) read partition-local source
+overrides and are excluded from statistics absorption: an exhausted
+partition override proves nothing about the full relation's cardinality.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import TYPE_CHECKING, Any
+
+from repro.adaptivity import AdaptationController, SharedLearningPolicy
+from repro.core.corrective import CorrectiveQueryProcessor
+from repro.engine.cost import CostModel, SimulatedClock
+from repro.io.wallclock import wall_now
+from repro.serving.scheduler import make_policy
+from repro.serving.session import QuerySession
+from repro.serving.specs import SessionResult, SessionSpec, ShardResult, ShardTask
+from repro.serving.stats_cache import SharedStatisticsCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.queues import Queue as MPQueue
+
+
+def _session_sources(task: ShardTask, spec: SessionSpec) -> dict[str, object]:
+    """The source pool one session reads: the shard's, plus any
+    partition-local overrides (overrides shadow, never mutate, the pool)."""
+    if not spec.source_overrides:
+        return task.sources
+    merged: dict[str, object] = dict(task.sources)
+    merged.update(spec.source_overrides)
+    return merged
+
+
+def drive_shard(task: ShardTask) -> ShardResult:
+    """Run one shard's sessions to completion; pure function of the task."""
+    wall_start = wall_now()
+    busy_seconds = 0.0
+    catalog = task.catalog.copy()
+    cost_model = task.cost_model if task.cost_model is not None else CostModel()
+    cache = SharedStatisticsCache()
+    if task.snapshot is not None:
+        cache.hydrate_state(task.snapshot)
+    adaptation = AdaptationController(
+        [SharedLearningPolicy(cache, share_statistics=task.share_statistics)]
+    )
+    policy = make_policy(task.policy)
+    specs_by_index = {spec.index: spec for spec in task.specs}
+    sessions: list[QuerySession] = []
+    for spec in sorted(task.specs, key=lambda item: item.index):
+        processor = CorrectiveQueryProcessor(
+            catalog,
+            _session_sources(task, spec),
+            cost_model,
+            **task.processor_options,
+        )
+        sessions.append(
+            QuerySession(
+                index=spec.index,
+                label=spec.label,
+                query=spec.query,
+                processor=processor,
+                catalog=catalog,
+                admit_at=spec.admit_at,
+                initial_tree=spec.initial_tree,
+                quantum_tuples=spec.quantum_tuples,
+                cooperative=False,
+            )
+        )
+
+    finished: list[QuerySession] = []
+    active: list[QuerySession] = []
+    quanta = 0
+    turn = 0
+
+    def retire(session: QuerySession) -> None:
+        report = session.report
+        assert report is not None
+        session.finished_at = session.admit_at + report.simulated_seconds
+        spec = specs_by_index[session.index]
+        if spec.partition_of is None:
+            adaptation.session_finished(report, catalog)
+        finished.append(session)
+
+    # Activate in (admit_at, index) order.  On a private-clock shard,
+    # admission time orders activations (and therefore which published
+    # statistics each initial plan sees) but gates nothing else.
+    for session in sorted(sessions, key=lambda item: (item.admit_at, item.index)):
+        step_start = wall_now()
+        seed = adaptation.session_starting(session.query, catalog)
+        session.start(SimulatedClock(cost_model), seed)
+        busy_seconds += wall_now() - step_start
+        if session.state is QuerySession.DONE:
+            retire(session)
+        else:
+            active.append(session)
+
+    while active:
+        # Blocking sessions are always ready (they wait on their own clock,
+        # never on the scheduler); the turn counter is the shard's logical
+        # time — both policies ignore the wall meaning of ``now``.
+        session = policy.pick(active, float(turn))
+        session.last_granted_turn = turn
+        turn += 1
+        quanta += 1
+        step_start = wall_now()
+        done = session.grant()
+        busy_seconds += wall_now() - step_start
+        if done:
+            active.remove(session)
+            retire(session)
+
+    collected: list[SessionResult] = []
+    for session in sorted(finished, key=lambda item: item.index):
+        report = session.report
+        assert report is not None
+        spec = specs_by_index[session.index]
+        collected.append(
+            SessionResult(
+                index=session.index,
+                label=session.label,
+                query_name=session.query.name,
+                worker_id=task.worker_id,
+                admitted_at=session.admit_at,
+                started_at=session.admit_at,
+                finished_at=session.admit_at + report.simulated_seconds,
+                quanta=session.quanta,
+                report=report,
+                partition_of=spec.partition_of,
+                partition_index=spec.partition_index,
+            )
+        )
+    results = tuple(collected)
+    shard_seconds = sum(result.report.simulated_seconds for result in results)
+    return ShardResult(
+        worker_id=task.worker_id,
+        results=results,
+        snapshot=cache.snapshot_state() if task.share_statistics else None,
+        quanta=quanta,
+        shard_seconds=shard_seconds,
+        wall_seconds=wall_now() - wall_start,
+        busy_wall_seconds=busy_seconds,
+    )
+
+
+def worker_main(
+    task_queue: "MPQueue[ShardTask]", result_queue: "MPQueue[ShardResult]"
+) -> None:
+    """Process entry point: one task in, one result out, then exit.
+
+    Any failure travels home as a :class:`ShardResult` carrying the formatted
+    traceback — the front-end re-raises it — so a crashing shard fails the
+    run loudly instead of hanging the result collection.
+    """
+    task = task_queue.get()
+    try:
+        result = drive_shard(task)
+    except BaseException:
+        result = ShardResult(worker_id=task.worker_id, error=traceback.format_exc())
+    result_queue.put(result)
+    result_queue.close()
+    # Flush the feeder thread before the process exits so the payload is
+    # never truncated by a fast shutdown.
+    result_queue.join_thread()
+
+
+def run_task_inline(task: ShardTask) -> ShardResult:
+    """Drive a shard in the calling process (the ``workers=1`` fast path and
+    the deterministic harness used by unit tests)."""
+    return drive_shard(task)

@@ -838,3 +838,265 @@ def assert_differential_case(result: DifferentialResult) -> None:
             f"batch sizes: {result.phase_counts} for query "
             f"{result.workload.query.name}"
         )
+
+
+def run_sharded_workloads(
+    workloads: list[DifferentialWorkload],
+    policy: str,
+    workers: int,
+    batch_size: int | None = None,
+    engine_mode: str = "interpreted",
+    start_method: str | None = None,
+    **server_options,
+):
+    """One sharded serving run over prefix-namespaced differential workloads.
+
+    The multi-process counterpart of :func:`run_served_workloads`: the same
+    workload mix is admitted to a
+    :class:`~repro.serving.sharded.ShardedQueryServer` with ``workers``
+    shards, each forced to start from its deliberately bad join order.
+    Returns ``(ShardedServingReport, [EngineObservables])`` with one
+    observables entry per workload, in admission order.
+    """
+    from repro.serving.sharded import ShardedQueryServer
+
+    catalog = Catalog()
+    sources: dict[str, object] = {}
+    for workload in workloads:
+        for name, relation in workload.relations.items():
+            catalog.register(name, relation.schema)
+        sources.update(workload.sources())
+    server = ShardedQueryServer(
+        catalog,
+        sources,
+        policy=policy,
+        workers=workers,
+        batch_size=batch_size,
+        quantum_tuples=POLL_STEP_LIMIT,
+        polling_interval_seconds=POLLING_INTERVAL,
+        engine_mode=engine_mode,
+        start_method=start_method,
+        **server_options,
+    )
+    for workload in workloads:
+        server.submit(
+            workload.query,
+            initial_tree=_bad_initial_tree(workload),
+            label=workload.query.name,
+        )
+    report = server.run()
+    assert len(report.served) == len(workloads)
+    observables = []
+    for served, workload in zip(report.served, workloads):
+        assert served.query_name == workload.query.name
+        observables.append(
+            EngineObservables(
+                multiset=_canonical_multiset(
+                    served.rows,
+                    served.report.schema.names,
+                    _canonical_names(workload),
+                ),
+                metrics=served.report.metrics.as_dict(),
+                simulated_seconds=served.report.simulated_seconds,
+                phases=served.phases,
+            )
+        )
+    return report, observables
+
+
+@dataclass
+class ShardedDifferentialResult:
+    """One sharded-vs-solo differential run, for assertions and meta-tests."""
+
+    seeds: tuple[int, ...]
+    policy: str
+    workers: int
+    batch_size: int | None
+    engine_mode: str
+    start_method: str | None
+    workloads: list[DifferentialWorkload]
+    report: object  # repro.serving.sharded.ShardedServingReport
+    solo: list[EngineObservables]
+    served: list[EngineObservables]
+
+    @property
+    def num_remote(self) -> int:
+        return sum(1 for workload in self.workloads if workload.remote)
+
+    @property
+    def served_phase_counts(self) -> list[int]:
+        return [observables.phases for observables in self.served]
+
+
+def run_sharded_differential_case(
+    seeds,
+    policy: str,
+    workers: int,
+    batch_size: int | None = None,
+    engine_mode: str = "interpreted",
+    start_method: str | None = None,
+) -> ShardedDifferentialResult:
+    """Shard several differential workloads across worker processes; verify
+    each answer **bit-identically** against its solo corrective run.
+
+    Stronger than the in-process serving differential: because every sharded
+    session runs blocking on a private clock — exactly like solo execution —
+    not just multisets but work counters, simulated seconds *and* phase
+    counts must equal the solo run with identical parameters, on every
+    worker count, scheduling policy, engine mode and start method.
+    """
+    workloads = [
+        generate_workload(seed, name_prefix=f"w{index}_")
+        for index, seed in enumerate(seeds)
+    ]
+
+    solo_observables = []
+    for workload in workloads:
+        reference = Counter(reference_spja(workload.query, workload.relations))
+        _, solo = run_solo_corrective(
+            workload, batch_size=batch_size, engine_mode=engine_mode
+        )
+        assert solo.multiset == reference, (
+            f"solo corrective run disagrees with the reference oracle on "
+            f"query {workload.query.name} (seed {workload.seed})"
+        )
+        solo_observables.append(solo)
+
+    report, served_observables = run_sharded_workloads(
+        workloads,
+        policy,
+        workers,
+        batch_size=batch_size,
+        engine_mode=engine_mode,
+        start_method=start_method,
+    )
+    for served, solo, workload in zip(
+        served_observables, solo_observables, workloads
+    ):
+        context = (
+            f"workers={workers}, policy={policy!r}, batch_size={batch_size}, "
+            f"engine={engine_mode}, start={start_method!r}: sharded query "
+            f"{workload.query.name!r} (seed {workload.seed})"
+        )
+        assert served.multiset == solo.multiset, (
+            f"{context} disagrees with its solo/reference multiset; query:\n"
+            f"{workload.query.describe()}"
+        )
+        assert served.metrics == solo.metrics, (
+            f"{context}: work counters diverge from solo"
+        )
+        assert served.simulated_seconds == solo.simulated_seconds, (
+            f"{context}: simulated seconds diverge from solo "
+            f"({served.simulated_seconds!r} vs {solo.simulated_seconds!r})"
+        )
+        assert served.phases == solo.phases, (
+            f"{context}: phase counts diverge from solo "
+            f"({served.phases} vs {solo.phases})"
+        )
+    return ShardedDifferentialResult(
+        seeds=tuple(seeds),
+        policy=policy,
+        workers=workers,
+        batch_size=batch_size,
+        engine_mode=engine_mode,
+        start_method=start_method,
+        workloads=workloads,
+        report=report,
+        solo=solo_observables,
+        served=served_observables,
+    )
+
+
+@dataclass
+class PartitionDifferentialResult:
+    """One partition-parallel-vs-solo differential run."""
+
+    seed: int
+    partitions: int
+    workers: int
+    batch_size: int | None
+    engine_mode: str
+    workload: DifferentialWorkload
+    reference: Counter
+    solo: EngineObservables
+    merged: Counter
+    report: object  # repro.serving.sharded.ShardedServingReport
+
+    @property
+    def partitioned(self):
+        return self.report.partitioned[0]
+
+
+def run_partition_differential_case(
+    seed: int,
+    partitions: int,
+    workers: int = 2,
+    batch_size: int | None = None,
+    engine_mode: str = "interpreted",
+    start_method: str | None = None,
+    workload: DifferentialWorkload | None = None,
+) -> PartitionDifferentialResult:
+    """Execute one local workload partition-parallel; verify the merged
+    multiset against the solo run and the reference oracle.
+
+    Both join inputs of the heaviest edge are hash-partitioned, one fragment
+    session runs per partition (spread round-robin across ``workers``
+    shards), and the front-end merges fragment outputs at the root —
+    concatenation for SPJ queries, per-group partial-aggregate folding for
+    aggregation queries (avg decomposed into sum/count partials).  The merged
+    multiset must equal the unpartitioned answer exactly.
+    """
+    from repro.serving.sharded import ShardedQueryServer
+
+    if workload is None:
+        workload = generate_workload(seed)
+    assert not workload.remote, (
+        "partition differential cases need materialized local relations"
+    )
+    query = workload.query
+    reference = Counter(reference_spja(query, workload.relations))
+    _, solo = run_solo_corrective(
+        workload, batch_size=batch_size, engine_mode=engine_mode
+    )
+    assert solo.multiset == reference, (
+        f"solo corrective run disagrees with the reference oracle on "
+        f"query {query.name} (seed {seed})"
+    )
+
+    server = ShardedQueryServer(
+        workload.catalog(),
+        workload.sources(),
+        workers=workers,
+        batch_size=batch_size,
+        quantum_tuples=POLL_STEP_LIMIT,
+        polling_interval_seconds=POLLING_INTERVAL,
+        engine_mode=engine_mode,
+        start_method=start_method,
+    )
+    label = server.submit_partitioned(query, partitions, label=query.name)
+    report = server.run()
+    assert len(report.partitioned) == 1 and report.partitioned[0].label == label
+    merged_query = report.partitioned[0]
+    assert len(merged_query.fragments) == partitions
+    merged = _canonical_multiset(
+        merged_query.rows, merged_query.schema.names, _canonical_names(workload)
+    )
+    assert merged == reference, (
+        f"seed {seed}, partitions={partitions}, workers={workers}, "
+        f"batch_size={batch_size}, engine={engine_mode}: partition-parallel "
+        f"merge disagrees with the reference oracle on {query.name} "
+        f"({len(merged)} distinct rows vs {len(reference)}); query:\n"
+        f"{query.describe()}"
+    )
+    return PartitionDifferentialResult(
+        seed=seed,
+        partitions=partitions,
+        workers=workers,
+        batch_size=batch_size,
+        engine_mode=engine_mode,
+        workload=workload,
+        reference=reference,
+        solo=solo,
+        merged=merged,
+        report=report,
+    )

@@ -1,0 +1,354 @@
+"""Unit tests for the sharded serving tier.
+
+The differential suites (``test_differential_sharded.py``) pin the
+end-to-end bit-identity contract; these tests pin the individual pieces:
+session→worker routing, the statistics snapshot protocol, the cross-process
+manager store, the hash-partition helpers, worker failure propagation and
+the front-end's admission validation.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from differential import POLL_STEP_LIMIT, POLLING_INTERVAL, generate_workload
+
+from repro.optimizer.statistics import ObservedStatistics
+from repro.relational.algebra import AggregateSpec, SPJAQuery
+from repro.relational.catalog import Catalog, TableStatistics
+from repro.relational.expressions import Aggregate, JoinPredicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.serving import (
+    SessionSpec,
+    ShardTask,
+    ShardedQueryServer,
+    SharedStatisticsCache,
+    SharedStatisticsStore,
+    shard_assignment,
+)
+from repro.serving.partition import (
+    build_partition_plan,
+    choose_partition_edge,
+    fragment_query,
+    merge_partition_results,
+    partition_relation,
+    stable_partition_index,
+)
+from repro.serving.specs import SessionResult
+from repro.serving.worker import worker_main
+
+
+def _rel(name: str, attrs: list[str], rows: list[tuple]) -> Relation:
+    return Relation(name, Schema.from_names(attrs, relation=name), rows)
+
+
+class TestShardAssignment:
+    def test_round_robin_by_admission_index(self):
+        assert shard_assignment(5, 2) == [0, 1, 0, 1, 0]
+        assert shard_assignment(3, 4) == [0, 1, 2]
+
+    def test_single_worker_gets_everything(self):
+        assert shard_assignment(4, 1) == [0, 0, 0, 0]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            shard_assignment(4, 0)
+
+
+class TestStatisticsSnapshot:
+    def _observed(self, selectivity: float = 0.25) -> ObservedStatistics:
+        observed = ObservedStatistics()
+        observed.selectivities[frozenset(("a", "b"))] = selectivity
+        return observed
+
+    def test_snapshot_is_detached_from_live_views(self):
+        cache = SharedStatisticsCache()
+        cache.absorb(self._observed())
+        cache.cardinalities["a"] = 10
+        snapshot = cache.snapshot_state()
+        # Mutating the cache after the fact must not leak into the snapshot.
+        cache.absorb(self._observed(0.9))
+        cache.cardinalities["a"] = 99
+        assert snapshot.observed.selectivities[frozenset(("a", "b"))] == 0.25
+        assert snapshot.cardinalities == {"a": 10}
+        assert snapshot.queries_absorbed == 1
+
+    def test_snapshot_pickles(self):
+        cache = SharedStatisticsCache()
+        cache.absorb(self._observed())
+        cache.record_rate_sample("a", 1.0, 5, promised_rate=100.0, total=50)
+        snapshot = pickle.loads(pickle.dumps(cache.snapshot_state()))
+        assert snapshot.rate_samples == {"a": [(1.0, 5)]}
+        assert snapshot.rate_promises == {"a": 100.0}
+
+    def test_hydrate_reattaches_live_views_and_zeroes_counters(self):
+        source = SharedStatisticsCache()
+        source.absorb(self._observed())
+        worker = SharedStatisticsCache()
+        worker.hydrate_state(source.snapshot_state())
+        assert worker.selectivities == source.selectivities
+        assert worker.queries_absorbed == 0
+        # The live views must point at the hydrated observations: a
+        # subsequent absorb must show up through them.
+        worker.absorb(self._observed(0.5))
+        assert worker.selectivities[frozenset(("a", "b"))] == 0.5
+
+    def test_absorb_snapshot_folds_and_max_folds(self):
+        front = SharedStatisticsCache()
+        front.cardinalities["a"] = 20
+        shard = SharedStatisticsCache()
+        shard.absorb(self._observed())
+        shard.cardinalities.update({"a": 10, "b": 7})
+        front.absorb_snapshot(shard.snapshot_state())
+        assert front.cardinalities == {"a": 20, "b": 7}
+        assert front.selectivities[frozenset(("a", "b"))] == 0.25
+        assert front.queries_absorbed == 1
+
+
+class TestSharedStatisticsStore:
+    def test_store_shares_state_through_manager(self):
+        with SharedStatisticsStore() as store:
+            observed = ObservedStatistics()
+            observed.selectivities[frozenset(("r", "s"))] = 0.125
+            store.absorb(observed)
+            summary = store.summary()
+            assert summary["selectivities"] == 1
+            assert summary["queries_absorbed"] == 1
+            query = SPJAQuery(
+                name="q",
+                relations=("r", "s"),
+                join_predicates=(JoinPredicate("r", "x", "s", "y"),),
+            )
+            seed = store.seed_for(query)
+            assert seed is not None
+            assert seed.selectivity_of(("r", "s")) == 0.125
+
+    def test_apply_cardinalities_runs_facade_side(self):
+        with SharedStatisticsStore() as store:
+            cache = SharedStatisticsCache()
+            cache.cardinalities["r"] = 42
+            store.absorb_snapshot(cache.snapshot_state())
+            catalog = Catalog()
+            catalog.register("r", Schema.from_names(["x"], relation="r"))
+            assert store.apply_cardinalities(catalog) == 1
+            assert catalog.statistics("r").cardinality == 42
+
+
+class TestPartitionHelpers:
+    def test_stable_partition_index_is_process_independent(self):
+        # crc32-of-repr, never builtin hash: these exact buckets must hold
+        # in every interpreter regardless of PYTHONHASHSEED.
+        assert [stable_partition_index(v, 4) for v in (0, 1, 2, "x")] == [
+            stable_partition_index(v, 4) for v in (0, 1, 2, "x")
+        ]
+        assert all(0 <= stable_partition_index(v, 3) < 3 for v in range(100))
+
+    def test_choose_partition_edge_prefers_heaviest(self):
+        query = SPJAQuery(
+            name="q",
+            relations=("r", "s", "t"),
+            join_predicates=(
+                JoinPredicate("r", "a", "s", "b"),
+                JoinPredicate("s", "b", "t", "c"),
+            ),
+        )
+        relations = {
+            "r": _rel("r", ["a"], [(i,) for i in range(2)]),
+            "s": _rel("s", ["b"], [(i,) for i in range(3)]),
+            "t": _rel("t", ["c"], [(i,) for i in range(50)]),
+        }
+        edge = choose_partition_edge(query, relations)
+        assert (edge.left_relation, edge.right_relation) == ("s", "t")
+
+    def test_choose_partition_edge_requires_materialized_join(self):
+        no_join = SPJAQuery(name="q", relations=("r",), join_predicates=())
+        with pytest.raises(ValueError, match="no join predicates"):
+            choose_partition_edge(no_join, {})
+        query = SPJAQuery(
+            name="q",
+            relations=("r", "s"),
+            join_predicates=(JoinPredicate("r", "a", "s", "b"),),
+        )
+        with pytest.raises(ValueError, match="materialized"):
+            choose_partition_edge(query, {"r": _rel("r", ["a"], [])})
+
+    def test_partition_relation_partitions_the_multiset(self):
+        relation = _rel("r", ["a", "b"], [(i, i * 2) for i in range(37)])
+        fragments = partition_relation(relation, "a", 4)
+        assert len(fragments) == 4
+        rows = [row for fragment in fragments for row in fragment.rows]
+        assert sorted(rows) == sorted(relation.rows)
+        assert all(fragment.name == "r" for fragment in fragments)
+        # Assignment is by key hash: the same key never lands in two places.
+        for index, fragment in enumerate(fragments):
+            assert all(
+                stable_partition_index(row[0], 4) == index
+                for row in fragment.rows
+            )
+
+    def test_fragment_query_identity_without_avg(self):
+        workload = generate_workload(23)
+        assert fragment_query(workload.query) is workload.query
+
+    def test_fragment_query_decomposes_avg(self):
+        query = SPJAQuery(
+            name="q",
+            relations=("r", "s"),
+            join_predicates=(JoinPredicate("r", "a", "s", "b"),),
+            aggregation=AggregateSpec(
+                ("a",),
+                (
+                    Aggregate("avg", "b", "avg_b"),
+                    Aggregate("max", "b", "max_b"),
+                ),
+            ),
+        )
+        fragment = fragment_query(query)
+        assert fragment.aggregation is not None
+        assert [
+            (agg.function, agg.alias) for agg in fragment.aggregation.aggregates
+        ] == [
+            ("sum", "avg_b__psum"),
+            ("count", "avg_b__pcnt"),
+            ("max", "max_b"),
+        ]
+
+    def test_merge_rejects_incomplete_fragment_sets(self):
+        query = SPJAQuery(
+            name="q",
+            relations=("r", "s"),
+            join_predicates=(JoinPredicate("r", "a", "s", "b"),),
+        )
+        relations = {
+            "r": _rel("r", ["a"], [(i,) for i in range(8)]),
+            "s": _rel("s", ["b"], [(i,) for i in range(8)]),
+        }
+        plan = build_partition_plan("q", query, relations, 2)
+        with pytest.raises(ValueError, match="expected fragments"):
+            merge_partition_results(plan, [])
+
+
+class _StubQueue:
+    """Just enough queue surface for ``worker_main`` outside a process."""
+
+    def __init__(self, items=()):
+        self.items = list(items)
+        self.out: list = []
+
+    def get(self):
+        return self.items.pop(0)
+
+    def put(self, item):
+        self.out.append(item)
+
+    def close(self):
+        pass
+
+    def join_thread(self):
+        pass
+
+
+class TestWorkerFailures:
+    def _broken_task(self) -> ShardTask:
+        workload = generate_workload(2)  # local
+        return ShardTask(
+            worker_id=3,
+            policy="round_robin",
+            catalog=workload.catalog(),
+            # Not a source: session construction/execution must blow up.
+            sources={name: object() for name in workload.relations},
+            specs=(
+                SessionSpec(
+                    index=0, label="q", query=workload.query, quantum_tuples=40
+                ),
+            ),
+        )
+
+    def test_worker_main_reports_tracebacks_instead_of_dying(self):
+        results = _StubQueue()
+        worker_main(_StubQueue([self._broken_task()]), results)
+        assert len(results.out) == 1
+        result = results.out[0]
+        assert result.worker_id == 3
+        assert result.error is not None and "Traceback" in result.error
+
+    def test_front_end_reraises_worker_failure(self):
+        workload = generate_workload(2)
+        server = ShardedQueryServer(
+            workload.catalog(),
+            {name: object() for name in workload.relations},
+            workers=1,
+            quantum_tuples=POLL_STEP_LIMIT,
+            polling_interval_seconds=POLLING_INTERVAL,
+        )
+        server.submit(workload.query)
+        with pytest.raises(RuntimeError, match="worker 0 failed"):
+            server.run()
+
+
+class TestShardedServerValidation:
+    def _server(self, **kwargs) -> tuple[ShardedQueryServer, object]:
+        workload = generate_workload(2)
+        server = ShardedQueryServer(
+            workload.catalog(),
+            workload.sources(),
+            quantum_tuples=POLL_STEP_LIMIT,
+            polling_interval_seconds=POLLING_INTERVAL,
+            start_method="inline",
+            **kwargs,
+        )
+        return server, workload
+
+    def test_rejects_nonpositive_workers(self):
+        workload = generate_workload(2)
+        with pytest.raises(ValueError):
+            ShardedQueryServer(workload.catalog(), workload.sources(), workers=0)
+
+    def test_rejects_unregistered_sources(self):
+        server, workload = self._server()
+        ghost = SPJAQuery(name="ghost", relations=("nope",), join_predicates=())
+        with pytest.raises(KeyError):
+            server.submit(ghost)
+
+    def test_duplicate_labels_are_disambiguated(self):
+        server, workload = self._server()
+        first = server.submit(workload.query, label="same")
+        second = server.submit(workload.query, label="same")
+        assert first == "same" and second != "same"
+
+    def test_single_use(self):
+        server, workload = self._server()
+        server.submit(workload.query)
+        server.run()
+        with pytest.raises(RuntimeError):
+            server.run()
+        with pytest.raises(RuntimeError):
+            server.submit(workload.query)
+
+    def test_report_carries_worker_telemetry(self):
+        server, workload = self._server(workers=2)
+        server.submit(workload.query)
+        server.submit(workload.query)
+        report = server.run()
+        assert report.workers == 2
+        assert report.start_method == "inline"
+        assert len(report.worker_summaries) == 2
+        utilization = report.utilization()
+        assert set(utilization) == {0, 1}
+        assert all(0.0 <= value <= 1.0 for value in utilization.values())
+        summaries = [summary.summary() for summary in report.worker_summaries]
+        assert all(entry["sessions"] == 1 for entry in summaries)
+
+    def test_partitioned_submission_requires_local_edge(self):
+        workload = generate_workload(1)  # remote: sources are RemoteSource
+        assert workload.remote
+        server = ShardedQueryServer(
+            workload.catalog(),
+            workload.sources(),
+            start_method="inline",
+        )
+        with pytest.raises(ValueError, match="materialized"):
+            server.submit_partitioned(workload.query, 2)
